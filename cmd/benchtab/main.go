@@ -1,0 +1,55 @@
+// Command benchtab regenerates the paper's tables and figures:
+//
+//	benchtab -exp fig2            # one artifact (figures or tables)
+//	benchtab -exp all             # everything, in paper order
+//	benchtab -exp fig5 -scale 10  # closer to paper-scale inputs (slower)
+//
+// Output is the same rows/series the paper reports, with runtimes in
+// simulated cluster seconds (see DESIGN.md for the substitution of Amazon
+// EMR by the discrete-event cluster model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sparkscore/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "artifact id (tab1, fig2, tab3, ..., fig7) or \"all\"")
+		scale    = flag.Int("scale", 100, "divide the paper's SNP counts, block size, and executor memory by this")
+		reps     = flag.Int("reps", 2, "repetitions per configuration (for mean/stdev tables)")
+		maxIters = flag.Int("max-iters", 0, "cap resampling iterations (0 = run the paper's full axes)")
+		seed     = flag.Uint64("seed", 1, "seed for data generation and resampling")
+	)
+	flag.Parse()
+
+	h := &harness.Harness{Scale: *scale, Reps: *reps, MaxIterations: *maxIters, Seed: *seed}
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = harness.RunAll(h, os.Stdout)
+	} else {
+		e, ok := harness.Resolve(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown artifact %q; known:", *exp)
+			for _, known := range harness.Experiments() {
+				fmt.Fprintf(os.Stderr, " %s", known.ID)
+			}
+			fmt.Fprintln(os.Stderr, " (plus table aliases tab2..tab8)")
+			os.Exit(2)
+		}
+		fmt.Printf("== %s ==\n", e.Title)
+		err = e.Run(h, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchtab: done in %.1fs wall (scale 1/%d, %d reps)\n",
+		time.Since(start).Seconds(), *scale, *reps)
+}

@@ -1,0 +1,96 @@
+// Command datagen generates the paper's synthetic datasets (Section III) as
+// text files on the local file system, in the formats sparkscore consumes:
+//
+//	datagen -patients 1000 -snps 100000 -sets 1000 -out ./dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sparkscore/internal/data"
+	"sparkscore/internal/gen"
+	"sparkscore/internal/rng"
+	"sparkscore/internal/stats"
+)
+
+func main() {
+	var (
+		patients = flag.Int("patients", 1000, "number of patients (n)")
+		snps     = flag.Int("snps", 10000, "number of SNPs (m)")
+		sets     = flag.Int("sets", 100, "number of SNP-sets (K)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("out", "dataset", "output directory")
+		minMAF   = flag.Float64("min-maf", 0.01, "minimum relative allelic frequency")
+		maxMAF   = flag.Float64("max-maf", 0.5, "maximum relative allelic frequency")
+		events   = flag.Float64("event-rate", 0.85, "Bernoulli event rate")
+		survival = flag.Float64("mean-survival", 12, "mean exponential survival time")
+		scheme   = flag.String("weight-scheme", "flat", `SKAT weights: "flat" (all 1) or "beta" (Beta(MAF;a,b))`)
+		betaA    = flag.Float64("beta-a", 1, "Beta weight shape a (with -weight-scheme beta)")
+		betaB    = flag.Float64("beta-b", 25, "Beta weight shape b (with -weight-scheme beta)")
+		withCov  = flag.Bool("covariates", false, "also generate a baseline covariates file (age, sex)")
+	)
+	flag.Parse()
+
+	cfg := gen.Config{
+		Patients: *patients, SNPs: *snps, SNPSets: *sets,
+		MinMAF: *minMAF, MaxMAF: *maxMAF,
+		EventRate: *events, MeanSurvival: *survival,
+	}
+	ds, err := gen.Generate(cfg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	switch *scheme {
+	case "flat":
+	case "beta":
+		if ds.Weights, err = stats.BetaMAFWeights(ds.Genotypes, *betaA, *betaB); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown weight scheme %q", *scheme))
+	}
+	if *withCov {
+		ds.Covariates = gen.Covariates(cfg, rng.New(*seed^0xc0))
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	files := []struct {
+		name  string
+		write func(f *os.File) error
+	}{
+		{"genotypes.txt", func(f *os.File) error { return data.WriteGenotypes(f, ds.Genotypes) }},
+		{"phenotype.txt", func(f *os.File) error { return data.WritePhenotype(f, ds.Phenotype) }},
+		{"weights.txt", func(f *os.File) error { return data.WriteWeights(f, ds.Weights) }},
+		{"snpsets.txt", func(f *os.File) error { return data.WriteSNPSets(f, ds.SNPSets) }},
+	}
+	if ds.Covariates != nil {
+		files = append(files, struct {
+			name  string
+			write func(f *os.File) error
+		}{"covariates.txt", func(f *os.File) error { return data.WriteCovariates(f, ds.Covariates) }})
+	}
+	for _, spec := range files {
+		path := filepath.Join(*out, spec.name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := spec.write(f); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("writing %s: %w", path, err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

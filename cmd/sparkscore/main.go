@@ -1,0 +1,239 @@
+// Command sparkscore runs a complete SparkScore analysis on the simulated
+// cluster: it stages the input files onto the HDFS stand-in, computes the
+// observed SKAT statistics, runs the requested resampling method, and prints
+// per-set p-values plus the simulated cluster runtime.
+//
+// Inputs come either from files produced by datagen:
+//
+//	sparkscore -dir ./dataset -method mc -iterations 1000
+//
+// or are generated in-process:
+//
+//	sparkscore -generate -patients 1000 -snps 10000 -sets 100 -method perm -iterations 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/core"
+	"sparkscore/internal/data"
+	"sparkscore/internal/gen"
+	"sparkscore/internal/rdd"
+	"sparkscore/internal/stats"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "directory with genotypes.txt/phenotype.txt/weights.txt/snpsets.txt")
+		generate = flag.Bool("generate", false, "generate a synthetic dataset instead of reading -dir")
+		patients = flag.Int("patients", 1000, "patients for -generate")
+		snps     = flag.Int("snps", 10000, "SNPs for -generate")
+		sets     = flag.Int("sets", 100, "SNP-sets for -generate")
+
+		method     = flag.String("method", "mc", `resampling method: "mc" (Monte Carlo) or "perm" (permutation)`)
+		iterations = flag.Int("iterations", 1000, "resampling iterations (B)")
+		family     = flag.String("family", "cox", `score family: "cox", "gaussian", or "binomial"`)
+		noCache    = flag.Bool("no-cache", false, "disable caching of the score-contribution RDD")
+		setStat    = flag.String("set-stat", "skat", `SNP-set statistic: "skat" or "burden"`)
+		betaWts    = flag.Bool("beta-weights", false, "replace input weights with Beta(MAF;1,25) weights (Wu et al. 2011)")
+		seed       = flag.Uint64("seed", 1, "seed for data generation and resampling")
+
+		nodes    = flag.Int("nodes", 6, "simulated cluster nodes (m3.2xlarge)")
+		execs    = flag.Int("executors-per-node", 2, "YARN containers per node")
+		cores    = flag.Int("cores", 4, "cores per container")
+		mem      = flag.Float64("mem", 10, "memory per container (GiB)")
+		top      = flag.Int("top", 10, "print the top N SNP-sets by p-value")
+		marginal = flag.Bool("marginal", false, "also run the per-SNP asymptotic analysis")
+		setAsym  = flag.Bool("asymptotic", false, "also run the per-set asymptotic (Liu) analysis")
+		out      = flag.String("out", "", "write the per-set result table (TSV) to this file")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*dir, *generate, *patients, *snps, *sets, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *betaWts {
+		if ds.Weights, err = stats.BetaMAFWeights(ds.Genotypes, 1, 25); err != nil {
+			fatal(err)
+		}
+	}
+	ctx, err := rdd.New(rdd.Config{
+		Cluster: cluster.Config{
+			Nodes: *nodes, Spec: cluster.M3TwoXLarge,
+			ExecutorsPerNode: *execs, CoresPerExecutor: *cores, MemPerExecutorGiB: *mem,
+		},
+		Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := core.StageDataset(ctx, ds, "input")
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{Family: *family, SetStatistic: *setStat, Seed: *seed}
+	if *noCache {
+		opts = opts.WithoutCache()
+	}
+	analysis, err := core.NewAnalysis(ctx, paths, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("sparkscore: %d patients, %d SNPs, %d SNP-sets on %d nodes (%dx%d cores, %g GiB)\n",
+		ds.Phenotype.Patients(), ds.Genotypes.SNPs(), len(ds.SNPSets),
+		*nodes, *execs, *cores, *mem)
+
+	var res *core.Result
+	switch *method {
+	case "mc":
+		res, err = analysis.MonteCarlo(*iterations)
+	case "perm":
+		res, err = analysis.Permutation(*iterations)
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	printResult(res, *top)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.WriteResult(f, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+	if *setAsym {
+		if err := printSetAsymptotic(analysis, *top); err != nil {
+			fatal(err)
+		}
+	}
+	if *marginal {
+		if err := printMarginal(analysis, *top); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("\nsimulated cluster time: %.1f s over %d jobs\n", ctx.VirtualTime(), len(ctx.Jobs()))
+}
+
+func loadDataset(dir string, generate bool, patients, snps, sets int, seed uint64) (*data.Dataset, error) {
+	if generate || dir == "" {
+		return gen.Generate(gen.Config{Patients: patients, SNPs: snps, SNPSets: sets}, seed)
+	}
+	open := func(name string) (*os.File, error) { return os.Open(filepath.Join(dir, name)) }
+	ds := &data.Dataset{}
+	var err error
+	load := func(name string, read func(f *os.File) error) {
+		if err != nil {
+			return
+		}
+		var f *os.File
+		if f, err = open(name); err != nil {
+			return
+		}
+		defer f.Close()
+		err = read(f)
+	}
+	load("genotypes.txt", func(f *os.File) (e error) { ds.Genotypes, e = data.ReadGenotypes(f); return })
+	load("phenotype.txt", func(f *os.File) (e error) { ds.Phenotype, e = data.ReadPhenotype(f); return })
+	load("weights.txt", func(f *os.File) (e error) { ds.Weights, e = data.ReadWeights(f); return })
+	load("snpsets.txt", func(f *os.File) (e error) { ds.SNPSets, e = data.ReadSNPSets(f); return })
+	if err != nil {
+		return nil, err
+	}
+	// Covariates are optional: adjust the analysis when the file exists.
+	if f, cerr := open("covariates.txt"); cerr == nil {
+		ds.Covariates, err = data.ReadCovariates(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ds, ds.Validate()
+}
+
+func printResult(res *core.Result, top int) {
+	type row struct {
+		name string
+		s0   float64
+		p    float64
+	}
+	rows := make([]row, len(res.Observed))
+	for k := range rows {
+		rows[k] = row{name: res.Sets[k].Name, s0: res.Observed[k]}
+		if res.PValues != nil {
+			rows[k].p = res.PValues[k]
+		}
+	}
+	if res.PValues != nil {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].p < rows[j].p })
+	} else {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].s0 > rows[j].s0 })
+	}
+	if top > len(rows) {
+		top = len(rows)
+	}
+	fmt.Printf("\n%d resampling iterations; top %d SNP-sets:\n", res.Iterations, top)
+	fmt.Printf("%-16s %14s %10s\n", "snp-set", "observed-skat", "p-value")
+	for _, r := range rows[:top] {
+		p := "n/a"
+		if res.PValues != nil {
+			p = fmt.Sprintf("%.4g", r.p)
+		}
+		fmt.Printf("%-16s %14.4f %10s\n", r.name, r.s0, p)
+	}
+}
+
+func printSetAsymptotic(a *core.Analysis, top int) error {
+	results, err := a.SetAsymptotic()
+	if err != nil {
+		return err
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].PValue < results[j].PValue })
+	if top > len(results) {
+		top = len(results)
+	}
+	fmt.Printf("\ntop %d SNP-sets by asymptotic (Liu) test:\n", top)
+	fmt.Printf("%-16s %6s %14s %10s\n", "snp-set", "snps", "observed", "p-value")
+	for _, r := range results[:top] {
+		fmt.Printf("%-16s %6d %14.4f %10.4g\n", r.Name, r.SNPs, r.Observed, r.PValue)
+	}
+	return nil
+}
+
+func printMarginal(a *core.Analysis, top int) error {
+	results, err := a.MarginalAsymptotic()
+	if err != nil {
+		return err
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].PValue < results[j].PValue })
+	if top > len(results) {
+		top = len(results)
+	}
+	fmt.Printf("\ntop %d SNPs by asymptotic score test:\n", top)
+	fmt.Printf("%-8s %12s %12s %10s\n", "snp", "score", "variance", "p-value")
+	for _, r := range results[:top] {
+		fmt.Printf("%-8d %12.4f %12.4f %10.4g\n", r.SNP, r.Score, r.Variance, r.PValue)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sparkscore:", err)
+	os.Exit(1)
+}

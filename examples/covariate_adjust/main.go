@@ -1,0 +1,159 @@
+// Covariate adjustment — the capability the paper credits to the efficient
+// score method and to Lin's Monte Carlo resampling in particular ("it allows
+// for incorporation of baseline covariates in the analysis").
+//
+// The simulation builds a classic confounded study: a baseline covariate
+// (think ancestry or age) shifts both the allele frequencies of one SNP-set
+// and the survival hazard. Unadjusted, that set looks strongly associated;
+// adjusted for the covariate, the false signal disappears — while a truly
+// causal set stays significant in both analyses.
+//
+// Note that only the Monte Carlo method supports this: shuffling outcomes
+// for permutation resampling would break the covariate-outcome link too
+// (the library refuses the combination).
+//
+//	go run ./examples/covariate_adjust
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/core"
+	"sparkscore/internal/data"
+	"sparkscore/internal/gen"
+	"sparkscore/internal/rdd"
+	"sparkscore/internal/rng"
+)
+
+const (
+	patients     = 600
+	snps         = 1200
+	sets         = 30
+	confoundedK  = 5  // set whose SNPs track the confounder
+	causalK      = 21 // set with a real effect
+	iterations   = 400
+	confounderHR = 0.9 // log hazard ratio per confounder unit
+	causalHR     = 0.4 // log hazard ratio per causal allele
+)
+
+func main() {
+	ds, cov := buildStudy()
+
+	unadjusted := analyse(ds, nil)
+	adjusted := analyse(ds, cov)
+
+	fmt.Printf("covariate adjustment: %d patients, %d SNPs, %d sets, %d MC iterations\n", patients, snps, sets, iterations)
+	fmt.Printf("set%-2d is confounded (no real effect); set%-2d is causal\n\n", confoundedK, causalK)
+	fmt.Printf("%-10s %14s %14s %s\n", "snp-set", "unadjusted-p", "adjusted-p", "verdict")
+	for _, k := range []int{confoundedK, causalK} {
+		verdict := "spurious signal removed by adjustment"
+		if k == causalK {
+			verdict = "real signal survives adjustment"
+		}
+		fmt.Printf("set%-7d %14.4f %14.4f %s\n", k, unadjusted.PValues[k], adjusted.PValues[k], verdict)
+	}
+
+	if unadjusted.PValues[confoundedK] < 0.05 && adjusted.PValues[confoundedK] > 0.05 {
+		fmt.Println("\nconfounded set: significant before adjustment, null after — as constructed.")
+	}
+
+	// Permutation must refuse the covariate-adjusted analysis.
+	ctx := newCluster()
+	staged, err := core.StageDataset(ctx, withCovariates(ds, cov), "adjperm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := core.NewAnalysis(ctx, staged, core.Options{Family: "cox", Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := a.Permutation(4); err != nil {
+		fmt.Printf("\npermutation with covariates correctly refused:\n  %v\n", err)
+	}
+}
+
+func newCluster() *rdd.Context {
+	ctx, err := rdd.New(rdd.Config{
+		Cluster: cluster.Config{Nodes: 4, Spec: cluster.M3TwoXLarge},
+		Seed:    9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ctx
+}
+
+// buildStudy simulates the confounded cohort.
+func buildStudy() (*data.Dataset, *data.Covariates) {
+	ds, err := gen.Generate(gen.Config{Patients: patients, SNPs: snps, SNPSets: sets}, 41)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rng.New(42)
+	conf := make([]float64, patients)
+	for i := range conf {
+		conf[i] = r.Normal()
+	}
+	// Confounded set: redraw its SNPs with allele frequency tied to conf.
+	for _, j := range ds.SNPSets[confoundedK].SNPs {
+		row := ds.Genotypes.Row(j)
+		for i := range row {
+			p := 0.15 + 0.25/(1+math.Exp(-1.5*conf[i]))
+			row[i] = data.Genotype(r.Binomial(2, p))
+		}
+	}
+	// Causal burden from the causal set.
+	burden := make([]float64, patients)
+	for _, j := range ds.SNPSets[causalK].SNPs {
+		row := ds.Genotypes.Row(j)
+		for i, g := range row {
+			burden[i] += float64(g)
+		}
+	}
+	// Hazard depends on the confounder and the causal burden — never on the
+	// confounded set's genotypes directly.
+	for i := range ds.Phenotype.Y {
+		rate := math.Exp(confounderHR*conf[i]+causalHR*burden[i]) / 12
+		ds.Phenotype.Y[i] = r.Exponential(rate)
+		if r.Bernoulli(0.85) {
+			ds.Phenotype.Event[i] = 1
+		} else {
+			ds.Phenotype.Event[i] = 0
+		}
+	}
+	rows := make([][]float64, patients)
+	for i := range rows {
+		rows[i] = []float64{conf[i]}
+	}
+	return ds, &data.Covariates{Rows: rows}
+}
+
+func withCovariates(ds *data.Dataset, cov *data.Covariates) *data.Dataset {
+	out := *ds
+	out.Covariates = cov
+	return &out
+}
+
+func analyse(ds *data.Dataset, cov *data.Covariates) *core.Result {
+	ctx := newCluster()
+	use := ds
+	if cov != nil {
+		use = withCovariates(ds, cov)
+	}
+	paths, err := core.StageDataset(ctx, use, "adj")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := core.NewAnalysis(ctx, paths, core.Options{Family: "cox", Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.MonteCarlo(iterations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

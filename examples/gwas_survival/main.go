@@ -1,0 +1,138 @@
+// GWAS with a censored survival phenotype — the paper's motivating workload
+// (time to death following start of treatment in a clinical trial).
+//
+// Unlike the quickstart, this example plants real signal: the hazard of the
+// patients depends on their genotypes at the SNPs of two chosen "causal"
+// gene sets (log hazard ratio 0.5 per minor allele). It then runs both
+// resampling methods of the paper on the same data and shows that
+//
+//   - both recover the causal sets at the top of the ranking,
+//
+//   - their p-values agree (they estimate the same sampling distribution),
+//
+//   - Monte Carlo needs a fraction of the permutation method's cluster time.
+//
+//     go run ./examples/gwas_survival
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/core"
+	"sparkscore/internal/data"
+	"sparkscore/internal/gen"
+	"sparkscore/internal/rdd"
+	"sparkscore/internal/rng"
+)
+
+const (
+	patients  = 400
+	snps      = 8000
+	sets      = 30
+	causalA   = 3 // indices of the causal SNP-sets
+	causalB   = 17
+	hazardLog = 0.5 // log hazard ratio per minor allele at causal SNPs
+	b         = 300 // resampling iterations
+)
+
+func main() {
+	ds, err := gen.Generate(gen.Config{Patients: patients, SNPs: snps, SNPSets: sets}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plantSurvivalSignal(ds, []int{causalA, causalB})
+
+	run := func(method string) (*core.Result, float64) {
+		ctx, err := rdd.New(rdd.Config{
+			Cluster: cluster.Config{Nodes: 6, Spec: cluster.M3TwoXLarge},
+			Seed:    3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		paths, err := core.StageDataset(ctx, ds, "gwas")
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := core.NewAnalysis(ctx, paths, core.Options{Family: "cox", Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var res *core.Result
+		if method == "mc" {
+			res, err = a.MonteCarlo(b)
+		} else {
+			res, err = a.Permutation(b)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res, ctx.VirtualTime()
+	}
+
+	mc, mcTime := run("mc")
+	perm, permTime := run("perm")
+
+	fmt.Printf("GWAS survival analysis: %d patients, %d SNPs, %d sets, %d iterations\n", patients, snps, sets, b)
+	fmt.Printf("causal sets planted: set%d, set%d (log HR %.1f per allele)\n\n", causalA, causalB, hazardLog)
+
+	fmt.Printf("%-8s %12s %12s %12s\n", "snp-set", "mc-p", "perm-p", "causal?")
+	for _, k := range topSets(mc, 6) {
+		causal := ""
+		if k == causalA || k == causalB {
+			causal = "  <== planted"
+		}
+		fmt.Printf("%-8s %12.4f %12.4f %s\n", mc.Sets[k].Name, mc.PValues[k], perm.PValues[k], causal)
+	}
+
+	var maxDiff float64
+	for k := range mc.PValues {
+		if d := math.Abs(mc.PValues[k] - perm.PValues[k]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("\nlargest |mc-p − perm-p| across all sets: %.4f (Monte Carlo error at B=%d: ~%.3f)\n",
+		maxDiff, b, 2/math.Sqrt(float64(b)))
+	fmt.Printf("simulated cluster time: Monte Carlo %.1f s, permutation %.1f s (%.1fx)\n",
+		mcTime, permTime, permTime/mcTime)
+}
+
+// plantSurvivalSignal redraws the survival times so the hazard depends on
+// the patient's genotypes within the causal sets: T ~ Exp(λ·e^{β·Σg}).
+func plantSurvivalSignal(ds *data.Dataset, causal []int) {
+	r := rng.New(99)
+	burden := make([]float64, ds.Phenotype.Patients())
+	for _, k := range causal {
+		for _, j := range ds.SNPSets[k].SNPs {
+			row := ds.Genotypes.Row(j)
+			for i, g := range row {
+				burden[i] += float64(g)
+			}
+		}
+	}
+	for i := range ds.Phenotype.Y {
+		rate := math.Exp(hazardLog*burden[i]) / 12
+		ds.Phenotype.Y[i] = r.Exponential(rate)
+		if r.Bernoulli(0.85) {
+			ds.Phenotype.Event[i] = 1
+		} else {
+			ds.Phenotype.Event[i] = 0
+		}
+	}
+}
+
+func topSets(res *core.Result, n int) []int {
+	order := make([]int, len(res.PValues))
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool { return res.PValues[order[a]] < res.PValues[order[b]] })
+	if n > len(order) {
+		n = len(order)
+	}
+	return order[:n]
+}

@@ -1,0 +1,3 @@
+module sparkscore
+
+go 1.22

@@ -1,0 +1,55 @@
+// Staging datasets onto the simulated HDFS in the paper's text formats.
+
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"sparkscore/internal/data"
+	"sparkscore/internal/rdd"
+)
+
+// StageDataset writes the four input files of Algorithm 1 to the context's
+// file system under the given name prefix and returns their paths.
+func StageDataset(ctx *rdd.Context, ds *data.Dataset, prefix string) (Paths, error) {
+	if err := ds.Validate(); err != nil {
+		return Paths{}, err
+	}
+	paths := Paths{
+		Genotypes: prefix + "/genotypes.txt",
+		Phenotype: prefix + "/phenotype.txt",
+		Weights:   prefix + "/weights.txt",
+		SNPSets:   prefix + "/snpsets.txt",
+	}
+	var buf bytes.Buffer
+	write := func(name string, encode func() error) error {
+		buf.Reset()
+		if err := encode(); err != nil {
+			return fmt.Errorf("core: encoding %s: %w", name, err)
+		}
+		if _, err := ctx.FS().Write(name, append([]byte(nil), buf.Bytes()...)); err != nil {
+			return fmt.Errorf("core: staging %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := write(paths.Genotypes, func() error { return data.WriteGenotypes(&buf, ds.Genotypes) }); err != nil {
+		return Paths{}, err
+	}
+	if err := write(paths.Phenotype, func() error { return data.WritePhenotype(&buf, ds.Phenotype) }); err != nil {
+		return Paths{}, err
+	}
+	if err := write(paths.Weights, func() error { return data.WriteWeights(&buf, ds.Weights) }); err != nil {
+		return Paths{}, err
+	}
+	if err := write(paths.SNPSets, func() error { return data.WriteSNPSets(&buf, ds.SNPSets) }); err != nil {
+		return Paths{}, err
+	}
+	if ds.Covariates != nil {
+		paths.Covariates = prefix + "/covariates.txt"
+		if err := write(paths.Covariates, func() error { return data.WriteCovariates(&buf, ds.Covariates) }); err != nil {
+			return Paths{}, err
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,168 @@
+// Package dfs is the HDFS stand-in: named files split into fixed-size blocks
+// at line boundaries, each block replicated on a configurable number of
+// cluster nodes. The engine uses the block list to derive input partitions
+// (one task per block, like Hadoop input splits), the block locations to
+// place tasks near their data, and the block sizes to charge read costs.
+//
+// Block contents are held in host memory; what HDFS contributes to the
+// paper's runtimes is scan cost and locality, both of which the engine models
+// from the metadata kept here.
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+
+	"sparkscore/internal/rng"
+)
+
+// DefaultBlockSize is the classic HDFS block size.
+const DefaultBlockSize = 128 << 20
+
+// Block is one replicated chunk of a file, always ending on a line boundary
+// (except possibly the final block).
+type Block struct {
+	Data      []byte
+	Locations []int // node ids holding a replica
+}
+
+// File is an immutable sequence of blocks.
+type File struct {
+	Name   string
+	Blocks []Block
+	Size   int64
+}
+
+// FS is the namespace of one simulated HDFS instance.
+type FS struct {
+	blockSize   int
+	replication int
+	nodes       int
+	files       map[string]*File
+	r           *rng.RNG
+}
+
+// New creates a file system spanning the given number of storage nodes.
+// blockSize <= 0 selects DefaultBlockSize; replication <= 0 selects 3
+// (capped at the node count).
+func New(nodes, blockSize, replication int, seed uint64) (*FS, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("dfs: %d nodes", nodes)
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if replication <= 0 {
+		replication = 3
+	}
+	if replication > nodes {
+		replication = nodes
+	}
+	return &FS{
+		blockSize:   blockSize,
+		replication: replication,
+		nodes:       nodes,
+		files:       map[string]*File{},
+		r:           rng.New(seed),
+	}, nil
+}
+
+// BlockSize returns the configured block size.
+func (fs *FS) BlockSize() int { return fs.blockSize }
+
+// Replication returns the configured replication factor.
+func (fs *FS) Replication() int { return fs.replication }
+
+// Nodes returns the number of storage nodes.
+func (fs *FS) Nodes() int { return fs.nodes }
+
+// Write stores data under name, splitting it into blocks at line boundaries
+// and placing replicas on distinct nodes. Writing an existing name replaces
+// the file.
+func (fs *FS) Write(name string, data []byte) (*File, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dfs: empty file name")
+	}
+	f := &File{Name: name, Size: int64(len(data))}
+	for off := 0; off < len(data); {
+		end := off + fs.blockSize
+		if end >= len(data) {
+			end = len(data)
+		} else {
+			// Extend to the next newline so a line never straddles blocks.
+			if nl := bytes.IndexByte(data[end:], '\n'); nl >= 0 {
+				end += nl + 1
+			} else {
+				end = len(data)
+			}
+		}
+		f.Blocks = append(f.Blocks, Block{
+			Data:      data[off:end],
+			Locations: fs.placeReplicas(),
+		})
+		off = end
+	}
+	if len(f.Blocks) == 0 {
+		// Represent an empty file as a single empty block so readers still
+		// get one (empty) partition.
+		f.Blocks = append(f.Blocks, Block{Locations: fs.placeReplicas()})
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// placeReplicas picks replication distinct nodes, first one random (the
+// "writer" node), the rest spread, mirroring HDFS's random placement for
+// off-cluster writers.
+func (fs *FS) placeReplicas() []int {
+	perm := fs.r.Perm(fs.nodes)
+	locs := make([]int, fs.replication)
+	copy(locs, perm[:fs.replication])
+	return locs
+}
+
+// Open returns the named file.
+func (fs *FS) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether the named file exists.
+func (fs *FS) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Delete removes the named file.
+func (fs *FS) Delete(name string) error {
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("dfs: no such file %q", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// ReadAll concatenates all blocks of the named file.
+func (fs *FS) ReadAll(name string) ([]byte, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, f.Size)
+	for _, b := range f.Blocks {
+		out = append(out, b.Data...)
+	}
+	return out, nil
+}
+
+// List returns the names of all files.
+func (fs *FS) List() []string {
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	return names
+}

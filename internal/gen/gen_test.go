@@ -1,0 +1,225 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sparkscore/internal/rng"
+)
+
+func TestGenerateValidDataset(t *testing.T) {
+	d, err := Generate(Config{Patients: 50, SNPs: 200, SNPSets: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("generated dataset invalid: %v", err)
+	}
+	if d.Genotypes.SNPs() != 200 || d.Genotypes.Patients != 50 {
+		t.Fatalf("shape (%d,%d)", d.Genotypes.SNPs(), d.Genotypes.Patients)
+	}
+	if len(d.SNPSets) != 10 {
+		t.Fatalf("%d sets, want 10", len(d.SNPSets))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Patients: 20, SNPs: 50, SNPSets: 5}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Patients: 20, SNPs: 50, SNPSets: 5}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Genotypes.Rows {
+		for i := range a.Genotypes.Rows[j] {
+			if a.Genotypes.Rows[j][i] != b.Genotypes.Rows[j][i] {
+				t.Fatalf("genotypes diverge at (%d,%d)", j, i)
+			}
+		}
+	}
+	for i := range a.Phenotype.Y {
+		if a.Phenotype.Y[i] != b.Phenotype.Y[i] || a.Phenotype.Event[i] != b.Phenotype.Event[i] {
+			t.Fatalf("phenotype diverges at %d", i)
+		}
+	}
+	for k := range a.SNPSets {
+		if len(a.SNPSets[k].SNPs) != len(b.SNPSets[k].SNPs) {
+			t.Fatalf("set %d size diverges", k)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{Patients: 100, SNPs: 10, SNPSets: 2}, 1)
+	b, _ := Generate(Config{Patients: 100, SNPs: 10, SNPSets: 2}, 2)
+	same := true
+	for i := range a.Phenotype.Y {
+		if a.Phenotype.Y[i] != b.Phenotype.Y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical phenotypes")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Patients: 0, SNPs: 10, SNPSets: 1},
+		{Patients: 10, SNPs: 0, SNPSets: 1},
+		{Patients: 10, SNPs: 10, SNPSets: 0},
+		{Patients: 10, SNPs: 5, SNPSets: 6},
+		{Patients: 10, SNPs: 10, SNPSets: 2, MinMAF: 0.6, MaxMAF: 0.4},
+		{Patients: 10, SNPs: 10, SNPSets: 2, EventRate: 1.5},
+		{Patients: 10, SNPs: 10, SNPSets: 2, MeanSurvival: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	if err := (Config{Patients: 10, SNPs: 10, SNPSets: 2}).Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestPhenotypeDistribution(t *testing.T) {
+	cfg := Config{Patients: 100000, SNPs: 1, SNPSets: 1}
+	p := Phenotype(cfg, rng.New(7))
+	var sumY float64
+	events := 0
+	for i := range p.Y {
+		if p.Y[i] < 0 {
+			t.Fatalf("negative survival time %v", p.Y[i])
+		}
+		sumY += p.Y[i]
+		if p.Event[i] == 1 {
+			events++
+		}
+	}
+	meanY := sumY / float64(len(p.Y))
+	if math.Abs(meanY-12) > 0.3 {
+		t.Errorf("mean survival %.3f, want ~12", meanY)
+	}
+	eventRate := float64(events) / float64(len(p.Y))
+	if math.Abs(eventRate-0.85) > 0.01 {
+		t.Errorf("event rate %.4f, want ~0.85", eventRate)
+	}
+}
+
+func TestGenotypeFrequenciesWithinMAFRange(t *testing.T) {
+	cfg := Config{Patients: 5000, SNPs: 20, SNPSets: 1, MinMAF: 0.2, MaxMAF: 0.3}
+	m := Genotypes(cfg, rng.New(11))
+	for j := 0; j < cfg.SNPs; j++ {
+		sum := 0
+		for _, g := range m.Rows[j] {
+			sum += int(g)
+		}
+		// Empirical allele frequency = mean genotype / 2; must be near the
+		// configured (0.2, 0.3) band, with sampling slack.
+		freq := float64(sum) / float64(2*cfg.Patients)
+		if freq < 0.15 || freq > 0.35 {
+			t.Errorf("SNP %d empirical frequency %.3f outside sampled band", j, freq)
+		}
+	}
+}
+
+func TestGenotypeRowsOrderIndependent(t *testing.T) {
+	cfg := Config{Patients: 10, SNPs: 5, SNPSets: 1}
+	r := rng.New(13)
+	full := Genotypes(cfg, r)
+	// Regenerating row 3 alone must reproduce the same values.
+	row := make([]int8, cfg.Patients)
+	FillGenotypeRow(row, cfg, rng.New(13), 3)
+	for i := range row {
+		if row[i] != full.Rows[3][i] {
+			t.Fatalf("row 3 regenerated differently at patient %d", i)
+		}
+	}
+}
+
+func TestSetsPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := r.Intn(200) + 2
+		k := r.Intn(m) + 1
+		cfg := Config{Patients: 1, SNPs: m, SNPSets: k}
+		sets := Sets(cfg, r)
+		if len(sets) != k {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, s := range sets {
+			if len(s.SNPs) == 0 {
+				return false
+			}
+			for _, j := range s.SNPs {
+				if j < 0 || j >= m {
+					return false
+				}
+				seen[j] = true
+			}
+		}
+		// Every SNP must be covered (the last set absorbs the remainder).
+		return len(seen) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetsMeanSizeTracksMOverK(t *testing.T) {
+	cfg := Config{Patients: 1, SNPs: 10000, SNPSets: 100}
+	sets := Sets(cfg, rng.New(17))
+	total := 0
+	for _, s := range sets {
+		total += len(s.SNPs)
+	}
+	mean := float64(total) / float64(len(sets))
+	// Mean set size should be ~ m/K = 100; exponential rounding biases it
+	// slightly below and the remainder set pulls it around, so be generous.
+	if mean < 50 || mean > 200 {
+		t.Fatalf("mean set size %.1f, want near 100", mean)
+	}
+}
+
+func TestFlatWeights(t *testing.T) {
+	w := FlatWeights(5)
+	if len(w) != 5 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for _, v := range w {
+		if v != 1 {
+			t.Fatalf("weight %v, want 1", v)
+		}
+	}
+}
+
+func TestCovariatesShapeAndBalance(t *testing.T) {
+	cfg := Config{Patients: 4000, SNPs: 10, SNPSets: 2}
+	cov := Covariates(cfg, rng.New(19))
+	if cov.Patients() != 4000 || cov.Width() != 2 {
+		t.Fatalf("shape (%d,%d)", cov.Patients(), cov.Width())
+	}
+	if err := cov.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var sumAge, ones float64
+	for _, row := range cov.Rows {
+		sumAge += row[0]
+		if row[1] != 0 && row[1] != 1 {
+			t.Fatalf("sex indicator %v", row[1])
+		}
+		ones += row[1]
+	}
+	if math.Abs(sumAge/4000) > 0.08 {
+		t.Fatalf("age mean %.3f, want ~0", sumAge/4000)
+	}
+	if frac := ones / 4000; math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("sex balance %.3f, want ~0.5", frac)
+	}
+}

@@ -1,0 +1,287 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns a harness whose scale makes every experiment near-trivial, so
+// the registry can be exercised end-to-end in unit tests.
+func tiny() *Harness {
+	return &Harness{Scale: 10000, Reps: 1, MaxIterations: 4, Seed: 5}
+}
+
+func TestMeasureBasic(t *testing.T) {
+	h := tiny()
+	p := tunedContainers(Params{
+		Patients: 50, SNPs: 100000, SNPSets: 10, Nodes: 2,
+		Method: "mc", Cache: true, Iterations: 2,
+	})
+	v, err := h.Measure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatalf("virtual seconds = %v", v)
+	}
+}
+
+func TestMeasureUnknownMethod(t *testing.T) {
+	h := tiny()
+	p := tunedContainers(Params{Patients: 10, SNPs: 100, SNPSets: 2, Nodes: 1, Method: "bogus"})
+	if _, err := h.Measure(p); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestSweepHonoursCap(t *testing.T) {
+	h := tiny()
+	h.MaxIterations = 3
+	p := tunedContainers(Params{
+		Patients: 20, SNPs: 100, SNPSets: 2, Nodes: 1, Method: "mc", Cache: true,
+	})
+	out, err := h.sweep(p, []int{0, 2, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out[100]; ok {
+		t.Fatal("capped point measured")
+	}
+	if _, ok := out[2]; !ok {
+		t.Fatal("uncapped point missing")
+	}
+}
+
+func TestDatasetMemoised(t *testing.T) {
+	h := tiny()
+	p := Params{Patients: 20, SNPs: 100000, SNPSets: 5}
+	a, err := h.dataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.dataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("dataset regenerated for identical key")
+	}
+}
+
+func TestScalingPreservesAvgSNPsPerSet(t *testing.T) {
+	h := &Harness{Scale: 100}
+	p := Params{SNPs: 100000, SNPSets: 1000} // paper's Experiment A: avg 100/set
+	snps, sets := h.scaledSNPs(p), h.scaledSets(p)
+	if snps != 1000 || sets != 10 {
+		t.Fatalf("scaled to %d SNPs / %d sets, want 1000/10", snps, sets)
+	}
+	if snps/sets != p.SNPs/p.SNPSets {
+		t.Fatalf("avg SNPs/set changed: %d, want %d", snps/sets, p.SNPs/p.SNPSets)
+	}
+}
+
+func TestScaledSetsFloorsAtOne(t *testing.T) {
+	h := &Harness{Scale: 10000}
+	p := Params{SNPs: 10000, SNPSets: 500}
+	if got := h.scaledSets(p); got != 1 {
+		t.Fatalf("scaledSets = %d, want 1", got)
+	}
+	if got := h.scaledSNPs(p); got != 1 {
+		t.Fatalf("scaledSNPs = %d, want 1", got)
+	}
+}
+
+func TestRegistryCoversEveryArtifact(t *testing.T) {
+	for _, id := range []string{
+		"tab1", "fig2", "tab2", "tab3", "fig3", "fig4", "tab4", "tab5",
+		"fig5", "fig6", "tab6", "fig7", "tab7", "tab8",
+	} {
+		if _, ok := Resolve(id); !ok {
+			t.Errorf("artifact %s not resolvable", id)
+		}
+	}
+	if _, ok := Resolve("fig99"); ok {
+		t.Error("unknown artifact resolved")
+	}
+}
+
+func TestTab1Runs(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Lookup("tab1")
+	if err := e.Run(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "m3.2xlarge") {
+		t.Fatalf("tab1 output:\n%s", buf.String())
+	}
+}
+
+func TestFig2RunsAtTinyScale(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Lookup("fig2")
+	if err := e.Run(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table II", "Figure 2", "Table III", "monte-carlo", "permutation", "skipped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6RunsAtTinyScale(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Lookup("fig6")
+	if err := e.Run(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table VI", "6-nodes", "12-nodes", "18-nodes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7RunsAtTinyScale(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Lookup("fig7")
+	if err := e.Run(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"42-containers", "84-containers", "126-containers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCacheBeatsNoCacheInVirtualTime(t *testing.T) {
+	// The headline of Experiment B must hold at any scale: cached Monte
+	// Carlo is faster than uncached at equal iterations.
+	h := &Harness{Scale: 2000, Reps: 1, Seed: 3}
+	base := tunedContainers(Params{
+		Patients: 200, SNPs: 1000000, SNPSets: 20, Nodes: 2,
+		Method: "mc", Iterations: 10,
+	})
+	cached := base
+	cached.Cache = true
+	uncached := base
+	uncached.Cache = false
+	tc, err := h.Measure(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := h.Measure(uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc >= tn {
+		t.Fatalf("cached %.3f >= uncached %.3f sim-s", tc, tn)
+	}
+}
+
+func TestMonteCarloBeatsPermutation(t *testing.T) {
+	// The headline of Experiment A: at equal iterations MC is faster.
+	h := &Harness{Scale: 2000, Reps: 1, Seed: 3}
+	base := tunedContainers(Params{
+		Patients: 200, SNPs: 1000000, SNPSets: 20, Nodes: 2,
+		Cache: true, Iterations: 8,
+	})
+	mc := base
+	mc.Method = "mc"
+	perm := base
+	perm.Method = "perm"
+	tm, err := h.Measure(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := h.Measure(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm >= tp {
+		t.Fatalf("monte carlo %.3f >= permutation %.3f sim-s", tm, tp)
+	}
+}
+
+func TestFig3RunsAtTinyScale(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Lookup("fig3")
+	if err := e.Run(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skipped") {
+		// With MaxIterations 4 the 1000- and 100-iteration configs skip.
+		t.Fatalf("fig3 output did not honour the iteration cap:\n%s", buf.String())
+	}
+}
+
+func TestFig4RunsAtTinyScale(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Lookup("fig4")
+	if err := e.Run(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "Table V", "with-cache", "without-cache", "N/A"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5RunsAtTinyScale(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Lookup("fig5")
+	if err := e.Run(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Fatalf("fig5 output:\n%s", buf.String())
+	}
+}
+
+func TestRunAllAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Experiments() {
+		if !strings.Contains(buf.String(), e.Title) {
+			t.Fatalf("RunAll output missing %q", e.Title)
+		}
+	}
+}
+
+func TestDiskSpillCuresStrongScalingCollapse(t *testing.T) {
+	// Figure 6's 6-node collapse comes from MEMORY_ONLY persistence dropping
+	// U partitions; MEMORY_AND_DISK demotes them to local disk instead, and
+	// the iterations become cheap again. This is the tuning insight the
+	// paper's future-work section gestures at.
+	h := &Harness{Scale: 1000, Reps: 1, Seed: 3}
+	base := Params{
+		Patients: 1000, SNPs: 1000000, SNPSets: 100, Nodes: 6,
+		ExecutorsPerNode: 2, CoresPerExecutor: 4, MemPerExecutorGiB: 1,
+		Method: "mc", Cache: true, Iterations: 10,
+	}
+	memOnly, err := h.Measure(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilling := base
+	spilling.DiskSpill = true
+	memAndDisk, err := h.Measure(spilling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memAndDisk >= memOnly/2 {
+		t.Fatalf("MEMORY_AND_DISK %.2f sim-s not clearly better than MEMORY_ONLY %.2f", memAndDisk, memOnly)
+	}
+}

@@ -1,0 +1,186 @@
+// Package metrics provides the small statistics and formatting layer of the
+// benchmark harness: samples of repeated runtimes with mean and standard
+// deviation (the paper's Tables III and V report exactly these), and aligned
+// text tables/series for regenerated figures.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Sample is a set of repeated measurements.
+type Sample []float64
+
+// Mean returns the arithmetic mean; NaN for an empty sample.
+func (s Sample) Mean() float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Stdev returns the sample standard deviation (n−1 denominator); 0 for
+// samples with fewer than two observations, matching how the paper reports
+// single runs.
+func (s Sample) Stdev() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s)-1))
+}
+
+// Min returns the smallest observation; NaN for an empty sample.
+func (s Sample) Min() float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation; NaN for an empty sample.
+func (s Sample) Max() float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Repeat collects n measurements of f.
+func Repeat(n int, f func() float64) Sample {
+	s := make(Sample, n)
+	for i := range s {
+		s[i] = f()
+	}
+	return s
+}
+
+// Table is an aligned text table with a title, a header, and string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond the column count are rejected.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("metrics: row with %d cells in a %d-column table", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, float64
+// are rendered %.1f, ints %d.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = FormatSeconds(v)
+		case int:
+			out[i] = fmt.Sprintf("%d", v)
+		case int64:
+			out[i] = fmt.Sprintf("%d", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatSeconds renders a duration in seconds with a precision that keeps
+// both sub-second and multi-thousand-second values readable.
+func FormatSeconds(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "N/A"
+	case v == 0:
+		return "0"
+	case math.Abs(v) < 10:
+		return fmt.Sprintf("%.3f", v)
+	case math.Abs(v) < 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdevKnown(t *testing.T) {
+	s := Sample{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := s.Mean(); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Sample stdev with n-1: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if sd := s.Stdev(); math.Abs(sd-want) > 1e-12 {
+		t.Fatalf("stdev = %v, want %v", sd, want)
+	}
+}
+
+func TestEmptyAndSingletonSamples(t *testing.T) {
+	var empty Sample
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Min()) || !math.IsNaN(empty.Max()) {
+		t.Fatal("empty sample did not yield NaN")
+	}
+	one := Sample{3}
+	if one.Stdev() != 0 {
+		t.Fatalf("singleton stdev = %v", one.Stdev())
+	}
+	if one.Min() != 3 || one.Max() != 3 {
+		t.Fatal("singleton min/max wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := Sample{5, -2, 9, 0}
+	if s.Min() != -2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStdevNonNegativeAndShiftInvariant(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		s := Sample(xs)
+		if s.Stdev() < 0 {
+			return false
+		}
+		shifted := make(Sample, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + 100
+		}
+		return math.Abs(s.Stdev()-shifted.Stdev()) < 1e-6*(1+s.Stdev())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	i := 0.0
+	s := Repeat(4, func() float64 { i++; return i })
+	if len(s) != 4 || s[0] != 1 || s[3] != 4 {
+		t.Fatalf("Repeat = %v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table X", "iterations", "runtime")
+	tab.AddRowf(0, 509.4)
+	tab.AddRowf(10000, 7036.6)
+	out := tab.String()
+	if !strings.Contains(out, "Table X") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "iterations") || !strings.Contains(out, "runtime") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "509.4") || !strings.Contains(out, "7037") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRejectsRaggedRow(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged row accepted")
+		}
+	}()
+	tab.AddRow("only-one")
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.1234: "0.123",
+		9.87:   "9.870",
+		42.21:  "42.2",
+		1234.5: "1234",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatSeconds(math.NaN()); got != "N/A" {
+		t.Errorf("NaN -> %q", got)
+	}
+}

@@ -1,0 +1,168 @@
+// The block manager stores cached RDD partitions in (simulated) executor
+// memory with MEMORY_ONLY semantics: least-recently-used blocks are evicted
+// when an executor's storage pool fills, and a block larger than the whole
+// pool is not stored at all. Evicted or failed-away blocks are recomputed
+// from lineage on next access — the mechanism behind both the caching
+// experiment (Figures 4 and 5) and the fault-tolerance story.
+
+package rdd
+
+import (
+	"container/list"
+	"sync"
+
+	"sparkscore/internal/cluster"
+)
+
+type blockKey struct {
+	rdd  int
+	part int
+}
+
+type block struct {
+	key      blockKey
+	executor int
+	value    any
+	bytes    int64
+	onDisk   bool
+	lruElem  *list.Element // nil while on disk
+}
+
+type executorStore struct {
+	capacity int64
+	used     int64
+	lru      *list.List // front = most recent; values are *block
+}
+
+type blockManager struct {
+	mu     sync.Mutex
+	stores map[int]*executorStore
+	index  map[blockKey]*block
+	// evictions counts blocks dropped for space, surfaced in metrics.
+	evictions int64
+}
+
+func newBlockManager(cl *cluster.Cluster, storageFraction float64) *blockManager {
+	bm := &blockManager{
+		stores: map[int]*executorStore{},
+		index:  map[blockKey]*block{},
+	}
+	for _, e := range cl.Executors() {
+		bm.stores[e.ID] = &executorStore{
+			capacity: int64(float64(e.MemBytes) * storageFraction),
+			lru:      list.New(),
+		}
+	}
+	return bm
+}
+
+// get returns the cached value, its holding executor, and whether the block
+// lives on the executor's disk (MEMORY_AND_DISK demotion) rather than in
+// memory, marking in-memory blocks recently used.
+func (bm *blockManager) get(key blockKey) (v any, executor int, onDisk, ok bool) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	b, ok := bm.index[key]
+	if !ok {
+		return nil, 0, false, false
+	}
+	if !b.onDisk {
+		bm.stores[b.executor].lru.MoveToFront(b.lruElem)
+	}
+	return b.value, b.executor, b.onDisk, true
+}
+
+// put stores a block on the executor, evicting least-recently-used blocks to
+// make room — but, as in Spark's MemoryStore, never blocks of the same RDD:
+// an RDD caching itself must not thrash its own partitions. If the block
+// cannot fit in memory without breaking that rule, it is dropped under
+// MEMORY_ONLY (the partition recomputes from lineage on later use) or
+// written to the executor's disk under MEMORY_AND_DISK (diskFallback).
+func (bm *blockManager) put(executor int, key blockKey, v any, bytes int64, diskFallback bool) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	if _, dup := bm.index[key]; dup {
+		return // another task cached this partition concurrently
+	}
+	st := bm.stores[executor]
+	if bytes > st.capacity {
+		if diskFallback {
+			bm.index[key] = &block{key: key, executor: executor, value: v, bytes: bytes, onDisk: true}
+		}
+		return
+	}
+	// Decide up front whether enough evictable (different-RDD) bytes exist.
+	freeable := int64(0)
+	for e := st.lru.Back(); e != nil; e = e.Prev() {
+		if b := e.Value.(*block); b.key.rdd != key.rdd {
+			freeable += b.bytes
+		}
+	}
+	if st.used-freeable+bytes > st.capacity {
+		if diskFallback {
+			bm.index[key] = &block{key: key, executor: executor, value: v, bytes: bytes, onDisk: true}
+		}
+		return
+	}
+	for e := st.lru.Back(); e != nil && st.used+bytes > st.capacity; {
+		prev := e.Prev()
+		if b := e.Value.(*block); b.key.rdd != key.rdd {
+			bm.removeLocked(b)
+			bm.evictions++
+		}
+		e = prev
+	}
+	b := &block{key: key, executor: executor, value: v, bytes: bytes}
+	b.lruElem = st.lru.PushFront(b)
+	st.used += bytes
+	bm.index[key] = b
+}
+
+func (bm *blockManager) removeLocked(b *block) {
+	if !b.onDisk {
+		st := bm.stores[b.executor]
+		st.lru.Remove(b.lruElem)
+		st.used -= b.bytes
+	}
+	delete(bm.index, b.key)
+}
+
+// dropExecutor discards every block held by the executor (executor failure),
+// memory and disk alike.
+func (bm *blockManager) dropExecutor(executor int) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	for key, b := range bm.index {
+		_ = key
+		if b.executor == executor {
+			bm.removeLocked(b)
+		}
+	}
+}
+
+// dropRDD removes every cached partition of the RDD (Unpersist).
+func (bm *blockManager) dropRDD(rddID int) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	for key, b := range bm.index {
+		if key.rdd == rddID {
+			bm.removeLocked(b)
+		}
+	}
+}
+
+func (bm *blockManager) totalBytes() int64 {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	var total int64
+	for _, st := range bm.stores {
+		total += st.used
+	}
+	return total
+}
+
+func (bm *blockManager) evictionCount() int64 {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	return bm.evictions
+}

@@ -1,0 +1,147 @@
+package rdd
+
+import (
+	"testing"
+
+	"sparkscore/internal/cluster"
+)
+
+func newTestBM(t *testing.T, memGiB float64) *blockManager {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Nodes:            1,
+		Spec:             cluster.NodeSpec{Name: "t", VCPUs: 4, MemGiB: memGiB * 2},
+		ExecutorsPerNode: 2, CoresPerExecutor: 2, MemPerExecutorGiB: memGiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newBlockManager(cl, 0.5) // capacity = memGiB/2 per executor
+}
+
+func TestBlockManagerPutGet(t *testing.T) {
+	bm := newTestBM(t, 1)
+	key := blockKey{rdd: 1, part: 0}
+	bm.put(0, key, "hello", 100, false)
+	v, holder, _, ok := bm.get(key)
+	if !ok || v != "hello" || holder != 0 {
+		t.Fatalf("get = (%v,%d,%v)", v, holder, ok)
+	}
+	if _, _, _, ok := bm.get(blockKey{rdd: 1, part: 9}); ok {
+		t.Fatal("missing block found")
+	}
+	if bm.totalBytes() != 100 {
+		t.Fatalf("totalBytes = %d", bm.totalBytes())
+	}
+}
+
+func TestBlockManagerDuplicatePutIgnored(t *testing.T) {
+	bm := newTestBM(t, 1)
+	key := blockKey{rdd: 1, part: 0}
+	bm.put(0, key, "first", 100, false)
+	bm.put(1, key, "second", 100, false)
+	v, holder, _, _ := bm.get(key)
+	if v != "first" || holder != 0 {
+		t.Fatalf("duplicate put replaced block: (%v,%d)", v, holder)
+	}
+	if bm.totalBytes() != 100 {
+		t.Fatalf("totalBytes = %d after duplicate put", bm.totalBytes())
+	}
+}
+
+func TestBlockManagerLRUEviction(t *testing.T) {
+	bm := newTestBM(t, 1) // 512 MiB capacity per executor
+	cap := int64(512 << 20)
+	a := blockKey{rdd: 1, part: 0}
+	b := blockKey{rdd: 2, part: 0}
+	c := blockKey{rdd: 3, part: 0}
+	bm.put(0, a, "a", cap/2, false)
+	bm.put(0, b, "b", cap/2, false)
+	// Touch a so b becomes least-recently-used.
+	bm.get(a)
+	bm.put(0, c, "c", cap/2, false)
+	if _, _, _, ok := bm.get(b); ok {
+		t.Fatal("LRU block b survived eviction")
+	}
+	if _, _, _, ok := bm.get(a); !ok {
+		t.Fatal("recently-used block a evicted")
+	}
+	if _, _, _, ok := bm.get(c); !ok {
+		t.Fatal("new block c not stored")
+	}
+	if bm.evictionCount() != 1 {
+		t.Fatalf("evictions = %d, want 1", bm.evictionCount())
+	}
+}
+
+func TestBlockManagerSameRDDNeverEvictsItself(t *testing.T) {
+	// Spark's MemoryStore rule: caching a partition of RDD r never evicts
+	// other partitions of r — the incoming block is dropped instead.
+	bm := newTestBM(t, 1)
+	cap := int64(512 << 20)
+	a := blockKey{rdd: 1, part: 0}
+	b := blockKey{rdd: 1, part: 1}
+	c := blockKey{rdd: 1, part: 2}
+	bm.put(0, a, "a", cap/2, false)
+	bm.put(0, b, "b", cap/2, false)
+	bm.put(0, c, "c", cap/2, false)
+	if _, _, _, ok := bm.get(a); !ok {
+		t.Fatal("same-RDD block a evicted")
+	}
+	if _, _, _, ok := bm.get(b); !ok {
+		t.Fatal("same-RDD block b evicted")
+	}
+	if _, _, _, ok := bm.get(c); ok {
+		t.Fatal("overflow block c stored despite same-RDD protection")
+	}
+	if bm.evictionCount() != 0 {
+		t.Fatalf("evictions = %d, want 0", bm.evictionCount())
+	}
+	// A different RDD's block may still evict them.
+	d := blockKey{rdd: 2, part: 0}
+	bm.put(0, d, "d", cap/2, false)
+	if _, _, _, ok := bm.get(d); !ok {
+		t.Fatal("different-RDD block not stored")
+	}
+	if bm.evictionCount() != 1 {
+		t.Fatalf("evictions = %d, want 1 after cross-RDD put", bm.evictionCount())
+	}
+}
+
+func TestBlockManagerOversizedBlockNotStored(t *testing.T) {
+	bm := newTestBM(t, 1)
+	key := blockKey{rdd: 1, part: 0}
+	bm.put(0, key, "big", 1<<40, false)
+	if _, _, _, ok := bm.get(key); ok {
+		t.Fatal("oversized block stored")
+	}
+}
+
+func TestBlockManagerDropExecutor(t *testing.T) {
+	bm := newTestBM(t, 1)
+	bm.put(0, blockKey{rdd: 1, part: 0}, "x", 10, false)
+	bm.put(1, blockKey{rdd: 1, part: 1}, "y", 10, false)
+	bm.dropExecutor(0)
+	if _, _, _, ok := bm.get(blockKey{rdd: 1, part: 0}); ok {
+		t.Fatal("block on failed executor survived")
+	}
+	if _, _, _, ok := bm.get(blockKey{rdd: 1, part: 1}); !ok {
+		t.Fatal("block on live executor dropped")
+	}
+	if bm.totalBytes() != 10 {
+		t.Fatalf("totalBytes = %d", bm.totalBytes())
+	}
+}
+
+func TestBlockManagerDropRDD(t *testing.T) {
+	bm := newTestBM(t, 1)
+	bm.put(0, blockKey{rdd: 1, part: 0}, "x", 10, false)
+	bm.put(0, blockKey{rdd: 2, part: 0}, "y", 10, false)
+	bm.dropRDD(1)
+	if _, _, _, ok := bm.get(blockKey{rdd: 1, part: 0}); ok {
+		t.Fatal("dropped RDD block survived")
+	}
+	if _, _, _, ok := bm.get(blockKey{rdd: 2, part: 0}); !ok {
+		t.Fatal("other RDD's block dropped")
+	}
+}

@@ -1,0 +1,264 @@
+// Package rdd is the Spark stand-in: resilient distributed datasets with lazy
+// lineage, narrow and shuffle transformations, explicit in-memory caching,
+// broadcast variables, and a stage-splitting scheduler that executes tasks on
+// a simulated YARN cluster.
+//
+// Execution is two-layered. Every task runs *for real* on the host (results
+// are exact, and cache hits versus lineage recomputation are real code
+// paths), while the scheduler charges each task a simulated duration — real
+// compute time scaled per core, plus modelled scheduling, HDFS, shuffle, and
+// spill costs — and plays those durations onto the virtual core slots of the
+// configured cluster. Context.VirtualTime is the cluster wall clock the
+// benchmarks report.
+package rdd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/dfs"
+	"sparkscore/internal/rng"
+)
+
+// Config assembles a simulated cluster and its cost model.
+type Config struct {
+	Cluster cluster.Config
+
+	// DFSBlockSize and DFSReplication configure the HDFS stand-in; zero
+	// values select the dfs package defaults.
+	DFSBlockSize   int
+	DFSReplication int
+
+	// Seed drives every random decision in the simulation (replica
+	// placement, tie-breaking); identical configurations replay identically.
+	Seed uint64
+
+	// Workers caps host-side parallelism of real task execution; zero
+	// selects runtime.NumCPU().
+	Workers int
+
+	// Cost model. Zero values select the defaults noted per field.
+	CPUScale         float64 // simulated seconds per measured compute second (1.0)
+	SchedOverheadSec float64 // per-task launch/serialisation overhead (0.004)
+	StageOverheadSec float64 // per-stage DAG/committer overhead (0.05)
+	DiskMBps         float64 // local disk bandwidth per task (100)
+	NetMBps          float64 // network bandwidth per task (120)
+	MemGBps          float64 // memory bandwidth for local cache reads (8)
+
+	// ParseMBps is the simulated end-to-end throughput of the text-ingestion
+	// pipeline (HDFS text → line split → boxed records), charged per task on
+	// DFS bytes read. The default of 0.25 MB/s per task is calibrated from
+	// the paper itself: its observed-statistic computation over a ~200 MB,
+	// 2-block genotype file took 509 s (Table III, 0 iterations), i.e.
+	// ~0.25 MB/s per active task on 2015-era JVM Spark — three orders of
+	// magnitude slower than its cached-primitive arithmetic. Modelling the
+	// two costs separately is what makes cache-versus-recompute shapes
+	// reproduce. Set a large value to neutralise.
+	ParseMBps float64
+
+	// StorageFraction is the share of executor memory available for cached
+	// blocks, as in Spark's unified memory model (0.6). The remainder is
+	// execution memory; tasks whose working set exceeds their per-slot share
+	// of it are charged spill I/O.
+	StorageFraction float64
+
+	// DisableLocality makes the task scheduler ignore placement preferences
+	// (cached block holders, HDFS replica nodes). It exists for the ablation
+	// benchmark quantifying what locality-aware scheduling buys.
+	DisableLocality bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.CPUScale == 0 {
+		c.CPUScale = 1
+	}
+	if c.SchedOverheadSec == 0 {
+		c.SchedOverheadSec = 0.004
+	}
+	if c.StageOverheadSec == 0 {
+		c.StageOverheadSec = 0.05
+	}
+	if c.DiskMBps == 0 {
+		c.DiskMBps = 100
+	}
+	if c.NetMBps == 0 {
+		c.NetMBps = 120
+	}
+	if c.MemGBps == 0 {
+		c.MemGBps = 8
+	}
+	if c.ParseMBps == 0 {
+		c.ParseMBps = 0.25
+	}
+	if c.StorageFraction == 0 {
+		c.StorageFraction = 0.6
+	}
+	return c
+}
+
+// Context is the driver: it owns the cluster, the file system, the block and
+// shuffle managers, the virtual clock, and the lineage graph id space. It
+// plays the role of SparkContext in Figure 1's stack (Spark application over
+// the execution engine over YARN over HDFS).
+type Context struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	fs      *dfs.FS
+	blocks  *blockManager
+	shuffle *shuffleManager
+	r       *rng.RNG
+
+	mu            sync.Mutex
+	clock         float64
+	nextNodeID    int
+	nextShuffleID int
+	pendingBcast  int64 // broadcast bytes not yet charged to a job
+	jobs          []JobMetrics
+
+	tasksDone int64 // lifetime completed tasks, drives failure plans
+	failPlan  *failurePlan
+
+	workers chan struct{} // host-side execution semaphore
+}
+
+type failurePlan struct {
+	executor   int
+	afterTasks int64
+	fired      bool
+}
+
+// New builds a driver context over a fresh cluster and file system.
+func New(cfg Config) (*Context, error) {
+	cfg = cfg.withDefaults()
+	cl, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := dfs.New(cl.Nodes(), cfg.DFSBlockSize, cfg.DFSReplication, cfg.Seed^0xd1f5)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{
+		cfg:     cfg,
+		cluster: cl,
+		fs:      fs,
+		shuffle: newShuffleManager(),
+		r:       rng.New(cfg.Seed ^ 0xc7a5),
+		workers: make(chan struct{}, cfg.Workers),
+	}
+	ctx.blocks = newBlockManager(cl, cfg.StorageFraction)
+	return ctx, nil
+}
+
+// FS exposes the simulated HDFS so callers can stage input files.
+func (c *Context) FS() *dfs.FS { return c.fs }
+
+// Cluster exposes the simulated cluster.
+func (c *Context) Cluster() *cluster.Cluster { return c.cluster }
+
+// VirtualTime returns the simulated seconds elapsed across all jobs so far.
+func (c *Context) VirtualTime() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clock
+}
+
+// ResetClock zeroes the virtual clock (between benchmark repetitions).
+func (c *Context) ResetClock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = 0
+	c.jobs = nil
+}
+
+// Jobs returns metrics for every job run so far (since the last ResetClock).
+func (c *Context) Jobs() []JobMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobMetrics, len(c.jobs))
+	copy(out, c.jobs)
+	return out
+}
+
+// FailExecutor kills an executor immediately: its cached blocks are lost and
+// future tasks are placed elsewhere. Shuffle outputs survive, as with
+// Spark's external shuffle service on YARN.
+func (c *Context) FailExecutor(id int) error {
+	if err := c.cluster.Fail(id); err != nil {
+		return err
+	}
+	c.blocks.dropExecutor(id)
+	return nil
+}
+
+// FailExecutorAfter arranges for the executor to fail once the given number
+// of further tasks have completed, injecting a failure in the middle of a
+// running job.
+func (c *Context) FailExecutorAfter(id int, tasks int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failPlan = &failurePlan{executor: id, afterTasks: c.tasksDone + tasks}
+}
+
+// CachedBytes reports the total bytes currently cached across live executors.
+func (c *Context) CachedBytes() int64 { return c.blocks.totalBytes() }
+
+func (c *Context) newNodeID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextNodeID++
+	return c.nextNodeID
+}
+
+func (c *Context) newShuffleID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextShuffleID++
+	return c.nextShuffleID
+}
+
+// Broadcast ships a read-only value to every executor once, as with Spark
+// broadcast variables (the paper broadcasts the phenotype pairs in
+// Algorithm 1 step 6). byteSize is the caller's estimate of the serialised
+// size, charged to the next job over the network once per executor wave.
+type Broadcast[T any] struct {
+	v T
+}
+
+// Value returns the broadcast value.
+func (b *Broadcast[T]) Value() T { return b.v }
+
+// NewBroadcast registers v for distribution to all executors.
+func NewBroadcast[T any](c *Context, v T, byteSize int64) *Broadcast[T] {
+	if byteSize < 0 {
+		panic(fmt.Sprintf("rdd: negative broadcast size %d", byteSize))
+	}
+	c.mu.Lock()
+	c.pendingBcast += byteSize
+	c.mu.Unlock()
+	return &Broadcast[T]{v: v}
+}
+
+// chargeBroadcast converts pending broadcast bytes into virtual seconds at
+// the start of a job: a BitTorrent-style distribution moves the payload over
+// the network in ~log2(executors) rounds.
+func (c *Context) chargeBroadcast() float64 {
+	c.mu.Lock()
+	bytes := c.pendingBcast
+	c.pendingBcast = 0
+	c.mu.Unlock()
+	if bytes == 0 {
+		return 0
+	}
+	execs := len(c.cluster.LiveExecutors())
+	rounds := 1.0
+	for n := 1; n < execs; n *= 2 {
+		rounds++
+	}
+	return float64(bytes) / (c.cfg.NetMBps * 1e6) * rounds
+}

@@ -1,0 +1,34 @@
+// Per-job metrics, the engine's counterpart of the Spark UI numbers the
+// paper's runtimes were read from.
+
+package rdd
+
+import "fmt"
+
+// JobMetrics summarises one action's execution.
+type JobMetrics struct {
+	Action string // collect, count, reduce, foreach
+	RDD    string // lineage label of the action's RDD
+
+	Stages int
+	Tasks  int
+
+	// VirtualSeconds is the job's simulated wall-clock on the configured
+	// cluster; the sum over jobs is Context.VirtualTime.
+	VirtualSeconds float64
+	// ComputeSeconds is the total measured host compute across tasks.
+	ComputeSeconds float64
+
+	DFSBytes       int64 // total input scanned (local + remote)
+	DFSLocalBytes  int64 // portion read on a node holding a replica
+	ShuffleBytes   int64
+	CacheReadBytes int64
+	Evictions      int64
+}
+
+// String renders a one-line summary.
+func (m JobMetrics) String() string {
+	return fmt.Sprintf("%s(%s): %d stages, %d tasks, %.3f sim-s, %.3f cpu-s, dfs=%dB shuffle=%dB cache=%dB",
+		m.Action, m.RDD, m.Stages, m.Tasks, m.VirtualSeconds, m.ComputeSeconds,
+		m.DFSBytes, m.ShuffleBytes, m.CacheReadBytes)
+}

@@ -1,0 +1,166 @@
+// Lineage nodes and task contexts. A node is the untyped core of an RDD: its
+// partition count, its dependencies, and a compute closure that materialises
+// one partition. Typed transformations (rdd.go) wrap nodes; narrow chains
+// pipeline automatically because each compute closure pulls from its parent's
+// iterate, and iterate consults the block manager first when the node is
+// cached — which is exactly how a cached RDD short-circuits its lineage.
+
+package rdd
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// defaultBytesPerElem is the size estimate used for cache accounting and
+// shuffle cost when a node has no explicit hint.
+const defaultBytesPerElem = 64
+
+type node struct {
+	id   int
+	ctx  *Context
+	name string
+
+	parts int
+
+	// narrowParents are pulled directly inside compute (pipelined).
+	narrowParents []*node
+	// shuffleIn lists the shuffle dependencies whose outputs compute reads.
+	shuffleIn []*shuffleDep
+
+	compute func(tc *taskContext, p int) any
+
+	// count extracts the element count from a materialised partition (the
+	// typed wrapper knows the slice type).
+	count func(v any) int
+
+	// cacheLevel: 0 = no persistence, 1 = MEMORY_ONLY, 2 = MEMORY_AND_DISK.
+	cacheLevel   atomic.Int32
+	bytesPerElem int64
+
+	// prefNodes returns the cluster nodes holding partition p's input (HDFS
+	// block locations); nil for computed RDDs.
+	prefNodes func(p int) []int
+}
+
+func (c *Context) newNode(name string, parts int, count func(any) int) *node {
+	if parts <= 0 {
+		panic(fmt.Sprintf("rdd: node %q with %d partitions", name, parts))
+	}
+	return &node{
+		id:           c.newNodeID(),
+		ctx:          c,
+		name:         name,
+		parts:        parts,
+		count:        count,
+		bytesPerElem: defaultBytesPerElem,
+	}
+}
+
+// estBytes estimates the in-memory size of a materialised partition.
+func (n *node) estBytes(v any) int64 {
+	return int64(n.count(v)) * n.bytesPerElem
+}
+
+// iterate returns partition p, serving it from the cache when possible and
+// recording the block on the executing executor after a cache miss. This is
+// the lineage/fault-tolerance pivot: a lost block simply recomputes. Blocks
+// demoted to disk under MEMORY_AND_DISK are served at disk (or network)
+// speed instead of memory speed.
+func (n *node) iterate(tc *taskContext, p int) any {
+	level := n.cacheLevel.Load()
+	if level == 0 {
+		return n.compute(tc, p)
+	}
+	key := blockKey{rdd: n.id, part: p}
+	if v, holder, onDisk, ok := n.ctx.blocks.get(key); ok {
+		bytes := n.estBytes(v)
+		local := n.ctx.cluster.Executor(holder).Node == tc.node()
+		switch {
+		case onDisk && local:
+			tc.cacheDiskLocalByte += bytes
+		case onDisk:
+			tc.cacheRemoteBytes += bytes
+		case local:
+			tc.cacheLocalBytes += bytes
+		default:
+			tc.cacheRemoteBytes += bytes
+		}
+		return v
+	}
+	v := n.compute(tc, p)
+	n.ctx.blocks.put(tc.executor, key, v, n.estBytes(v), level == 2)
+	return v
+}
+
+// preferredExecutors walks the narrow lineage looking for placement hints:
+// a cached block's holder first, then HDFS block locations.
+func (n *node) preferredExecutors(p int) []int {
+	if n.cacheLevel.Load() != 0 {
+		if _, holder, _, ok := n.ctx.blocks.get(blockKey{rdd: n.id, part: p}); ok {
+			return []int{holder}
+		}
+	}
+	if n.prefNodes != nil {
+		var execs []int
+		for _, nd := range n.prefNodes(p) {
+			execs = append(execs, n.ctx.cluster.ExecutorsOnNode(nd)...)
+		}
+		return execs
+	}
+	for _, parent := range n.narrowParents {
+		if parent.parts == n.parts {
+			if pref := parent.preferredExecutors(p); len(pref) > 0 {
+				return pref
+			}
+		}
+	}
+	return nil
+}
+
+// shuffleDeps returns every shuffle dependency reachable from n without
+// crossing another shuffle boundary — the inputs of n's stage.
+func (n *node) stageShuffleDeps() []*shuffleDep {
+	var out []*shuffleDep
+	seen := map[int]bool{}
+	var walk func(m *node)
+	walk = func(m *node) {
+		if seen[m.id] {
+			return
+		}
+		seen[m.id] = true
+		out = append(out, m.shuffleIn...)
+		for _, p := range m.narrowParents {
+			walk(p)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// taskContext carries the executing executor and accumulates the cost
+// drivers of one task; the scheduler converts them to virtual seconds.
+type taskContext struct {
+	ctx      *Context
+	executor int
+
+	dfsLocalBytes      int64
+	dfsRemoteBytes     int64
+	shuffleLocalBytes  int64
+	shuffleRemoteByte  int64
+	cacheLocalBytes    int64
+	cacheDiskLocalByte int64 // MEMORY_AND_DISK blocks read from local disk
+	cacheRemoteBytes   int64
+	shipBytes          int64 // driver-to-executor payload (Parallelize)
+}
+
+func (tc *taskContext) node() int {
+	return tc.ctx.cluster.Executor(tc.executor).Node
+}
+
+// workBytes is the task's total data touch, the driver of the spill model.
+func (tc *taskContext) workBytes() int64 {
+	return tc.dfsLocalBytes + tc.dfsRemoteBytes +
+		tc.shuffleLocalBytes + tc.shuffleRemoteByte +
+		tc.cacheLocalBytes + tc.cacheDiskLocalByte + tc.cacheRemoteBytes + tc.shipBytes
+}

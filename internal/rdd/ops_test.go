@@ -1,0 +1,259 @@
+package rdd
+
+import (
+	"sort"
+	"testing"
+
+	"sparkscore/internal/rng"
+)
+
+func TestDistinct(t *testing.T) {
+	c := newTestContext(t, 2)
+	in := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	got, err := Collect(Distinct(Parallelize(c, in, 4), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	want := []int{1, 2, 3, 4, 5, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Distinct = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Distinct = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDistinctStrings(t *testing.T) {
+	c := newTestContext(t, 2)
+	in := []string{"a", "b", "a", "c", "b"}
+	n, err := Count(Distinct(Parallelize(c, in, 2), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("distinct count %d", n)
+	}
+}
+
+func TestKeysValuesMapValues(t *testing.T) {
+	c := newTestContext(t, 2)
+	in := []KV[int, string]{{1, "a"}, {2, "b"}, {3, "c"}}
+	r := Parallelize(c, in, 2)
+	keys, err := Collect(Keys(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	vals, err := Collect(Values(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[1] != "b" {
+		t.Fatalf("Values = %v", vals)
+	}
+	up, err := Collect(MapValues(r, "upper", func(s string) string { return s + s }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up[0].K != 1 || up[0].V != "aa" {
+		t.Fatalf("MapValues = %v", up)
+	}
+}
+
+func TestSampleFractionAndDeterminism(t *testing.T) {
+	c := newTestContext(t, 2)
+	base := Parallelize(c, seq(10000), 8)
+	s1, err := Collect(Sample(base, 0.3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) < 2500 || len(s1) > 3500 {
+		t.Fatalf("sample kept %d of 10000 at fraction 0.3", len(s1))
+	}
+	s2, err := Collect(Sample(base, 0.3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("same seed sampled %d then %d elements", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same-seed samples differ")
+		}
+	}
+	s3, err := Collect(Sample(base, 0.3, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3) == len(s1) {
+		same := true
+		for i := range s1 {
+			if s1[i] != s3[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical samples")
+		}
+	}
+}
+
+func TestSampleEdges(t *testing.T) {
+	c := newTestContext(t, 1)
+	base := Parallelize(c, seq(100), 4)
+	if n, _ := Count(Sample(base, 0, 1)); n != 0 {
+		t.Fatalf("fraction 0 kept %d", n)
+	}
+	if n, _ := Count(Sample(base, 1, 1)); n != 100 {
+		t.Fatalf("fraction 1 kept %d", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fraction 2 accepted")
+		}
+	}()
+	Sample(base, 2, 1)
+}
+
+func TestCoalesce(t *testing.T) {
+	c := newTestContext(t, 2)
+	r := Coalesce(Parallelize(c, seq(100), 10), 3)
+	if r.Partitions() != 3 {
+		t.Fatalf("coalesced to %d partitions", r.Partitions())
+	}
+	got, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("coalesce lost elements: %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("coalesce reordered: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCoalesceClampsUp(t *testing.T) {
+	c := newTestContext(t, 1)
+	base := Parallelize(c, seq(10), 2)
+	if r := Coalesce(base, 5); r.Partitions() != 2 {
+		t.Fatalf("coalesce increased partitions to %d", r.Partitions())
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	c := newTestContext(t, 2)
+	in := []KV[string, float64]{{"a", 1}, {"b", 2}, {"a", 3}, {"a", 4}}
+	counts, err := CountByKey(Parallelize(c, in, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] != 3 || counts["b"] != 1 {
+		t.Fatalf("CountByKey = %v", counts)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	c := newTestContext(t, 2)
+	in := []KV[int, string]{{1, "x"}, {2, "y"}, {1, "z"}}
+	vals, err := Lookup(Parallelize(c, in, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != "x" || vals[1] != "z" {
+		t.Fatalf("Lookup = %v", vals)
+	}
+	empty, err := Lookup(Parallelize(c, in, 3), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("Lookup(missing) = %v", empty)
+	}
+}
+
+func TestDistinctLargeRandom(t *testing.T) {
+	c := newTestContext(t, 3)
+	r := rng.New(5)
+	in := make([]int, 5000)
+	want := map[int]bool{}
+	for i := range in {
+		in[i] = r.Intn(500)
+		want[in[i]] = true
+	}
+	n, err := Count(Distinct(Parallelize(c, in, 16), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("distinct count %d, want %d", n, len(want))
+	}
+}
+
+// TestRandomPipelineSemantics drives randomly composed transformation chains
+// through the engine and checks them against direct slice evaluation.
+func TestRandomPipelineSemantics(t *testing.T) {
+	c := newTestContext(t, 3)
+	r := rng.New(11)
+	for trial := 0; trial < 40; trial++ {
+		rr := r.Split(uint64(trial))
+		n := rr.Intn(200) + 1
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rr.Intn(1000) - 500
+		}
+		want := append([]int(nil), in...)
+		rddV := Parallelize(c, in, rr.Intn(6)+1)
+		steps := rr.Intn(5) + 1
+		for s := 0; s < steps; s++ {
+			switch rr.Intn(4) {
+			case 0:
+				k := rr.Intn(7) + 1
+				rddV = Map(rddV, "mul", func(x int) int { return x * k })
+				for i := range want {
+					want[i] *= k
+				}
+			case 1:
+				m := rr.Intn(5) + 2
+				rddV = Filter(rddV, "mod", func(x int) bool { return x%m != 0 })
+				var kept []int
+				for _, x := range want {
+					if x%m != 0 {
+						kept = append(kept, x)
+					}
+				}
+				want = kept
+			case 2:
+				rddV = FlatMap(rddV, "pair", func(x int) []int { return []int{x, -x} })
+				var doubled []int
+				for _, x := range want {
+					doubled = append(doubled, x, -x)
+				}
+				want = doubled
+			case 3:
+				rddV = Coalesce(rddV, rr.Intn(3)+1)
+			}
+		}
+		got, err := Collect(rddV)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d elements, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

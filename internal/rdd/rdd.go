@@ -1,0 +1,363 @@
+// The typed RDD surface: sources (Parallelize, TextFile), narrow
+// transformations (Map, Filter, FlatMap, MapPartitions, Union), persistence
+// (Cache/Unpersist), and actions (Collect, Count, Reduce, Foreach). Narrow
+// transformations pipeline within one task; Go methods cannot introduce new
+// type parameters, so transformations that change the element type are free
+// functions, the conventional Go generics idiom.
+
+package rdd
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// RDD is a resilient distributed dataset of T: an immutable, partitioned,
+// lazily computed collection that can be rebuilt from its lineage.
+type RDD[T any] struct {
+	n *node
+}
+
+func countOf[T any](v any) int { return len(v.([]T)) }
+
+// Name returns the RDD's lineage label (for metrics and debugging).
+func (r *RDD[T]) Name() string { return r.n.name }
+
+// Partitions returns the partition count.
+func (r *RDD[T]) Partitions() int { return r.n.parts }
+
+// StorageLevel selects how persisted partitions are kept, mirroring Spark's
+// levels.
+type StorageLevel int32
+
+const (
+	// MemoryOnly drops partitions that do not fit in executor storage; they
+	// recompute from lineage on later use (Spark's default, and the paper's).
+	MemoryOnly StorageLevel = 1
+	// MemoryAndDisk demotes partitions that do not fit to the executor's
+	// local disk: later reads pay disk bandwidth instead of recomputation.
+	MemoryAndDisk StorageLevel = 2
+)
+
+// Cache marks the RDD for MEMORY_ONLY persistence: the first computation of
+// each partition stores it on the computing executor and later uses read it
+// back instead of recomputing the lineage. Returns r for chaining.
+func (r *RDD[T]) Cache() *RDD[T] {
+	return r.Persist(MemoryOnly)
+}
+
+// Persist marks the RDD for persistence at the given storage level. Returns
+// r for chaining.
+func (r *RDD[T]) Persist(level StorageLevel) *RDD[T] {
+	if level != MemoryOnly && level != MemoryAndDisk {
+		panic(fmt.Sprintf("rdd: unknown storage level %d", level))
+	}
+	r.n.cacheLevel.Store(int32(level))
+	return r
+}
+
+// Unpersist drops any cached partitions and stops further caching.
+func (r *RDD[T]) Unpersist() {
+	r.n.cacheLevel.Store(0)
+	r.n.ctx.blocks.dropRDD(r.n.id)
+}
+
+// SetSizeHint declares the approximate in-memory bytes per element, used for
+// cache accounting and shuffle/spill cost modelling. Returns r for chaining.
+func (r *RDD[T]) SetSizeHint(bytesPerElem int64) *RDD[T] {
+	if bytesPerElem <= 0 {
+		panic(fmt.Sprintf("rdd: size hint %d", bytesPerElem))
+	}
+	r.n.bytesPerElem = bytesPerElem
+	return r
+}
+
+// Parallelize distributes a driver-side slice over parts partitions (
+// contiguous, near-equal ranges). The data is shipped to executors with the
+// tasks, which the cost model charges over the network.
+func Parallelize[T any](c *Context, items []T, parts int) *RDD[T] {
+	if parts <= 0 {
+		panic(fmt.Sprintf("rdd: Parallelize into %d partitions", parts))
+	}
+	// Copy so later caller mutations cannot alter the "distributed" data.
+	owned := make([]T, len(items))
+	copy(owned, items)
+	n := c.newNode(fmt.Sprintf("parallelize[%d]", len(items)), parts, countOf[T])
+	n.compute = func(tc *taskContext, p int) any {
+		lo, hi := partRange(len(owned), n.parts, p)
+		out := owned[lo:hi:hi]
+		tc.shipBytes += int64(len(out)) * n.bytesPerElem
+		return out
+	}
+	return &RDD[T]{n: n}
+}
+
+// partRange splits n items into parts near-equal contiguous ranges.
+func partRange(n, parts, p int) (lo, hi int) {
+	lo = p * n / parts
+	hi = (p + 1) * n / parts
+	return lo, hi
+}
+
+// TextFile opens a file on the simulated HDFS as an RDD of lines. With
+// minPartitions <= the block count there is one partition per block; a
+// larger value sub-splits blocks into byte ranges, Hadoop-style — a
+// partition owns exactly the lines that *start* inside its range — so map
+// parallelism can match the cluster's core count rather than the block
+// count. Task placement prefers the owning block's replica nodes; reads are
+// charged at disk speed when local and network speed otherwise.
+func (c *Context) TextFile(name string, minPartitions int) (*RDD[string], error) {
+	f, err := c.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	type split struct {
+		block  int
+		lo, hi int // raw byte range within the block
+	}
+	var splits []split
+	target := int64(1)
+	if minPartitions > 0 {
+		target = f.Size / int64(minPartitions)
+	}
+	for b, blk := range f.Blocks {
+		n := 1
+		if minPartitions > len(f.Blocks) && target > 0 {
+			n = int((int64(len(blk.Data)) + target - 1) / target)
+			if n < 1 {
+				n = 1
+			}
+		}
+		for i := 0; i < n; i++ {
+			lo, hi := partRange(len(blk.Data), n, i)
+			splits = append(splits, split{block: b, lo: lo, hi: hi})
+		}
+	}
+	n := c.newNode(fmt.Sprintf("textFile(%s)", name), len(splits), countOf[string])
+	n.prefNodes = func(p int) []int { return f.Blocks[splits[p].block].Locations }
+	n.compute = func(tc *taskContext, p int) any {
+		sp := splits[p]
+		data := f.Blocks[sp.block].Data
+		start := lineStartAtOrAfter(data, sp.lo)
+		end := lineStartAtOrAfter(data, sp.hi)
+		if start >= end {
+			return []string{}
+		}
+		local := false
+		for _, nd := range f.Blocks[sp.block].Locations {
+			if nd == tc.node() {
+				local = true
+				break
+			}
+		}
+		if local {
+			tc.dfsLocalBytes += int64(end - start)
+		} else {
+			tc.dfsRemoteBytes += int64(end - start)
+		}
+		text := string(data[start:end])
+		lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+		if len(lines) == 1 && lines[0] == "" {
+			lines = nil
+		}
+		return lines
+	}
+	return &RDD[string]{n: n}, nil
+}
+
+// lineStartAtOrAfter returns the offset of the first line that starts at or
+// after off (len(data) if none): offset 0 starts a line, and any position
+// immediately after a newline starts a line.
+func lineStartAtOrAfter(data []byte, off int) int {
+	if off <= 0 {
+		return 0
+	}
+	if off >= len(data) {
+		return len(data)
+	}
+	if data[off-1] == '\n' {
+		return off
+	}
+	i := bytes.IndexByte(data[off:], '\n')
+	if i < 0 {
+		return len(data)
+	}
+	return off + i + 1
+}
+
+// DefaultParallelism is the conventional partition count for cluster-wide
+// work: the total live core slots (Spark's default.parallelism on YARN).
+func (c *Context) DefaultParallelism() int {
+	return c.cluster.TotalSlots()
+}
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], name string, f func(T) U) *RDD[U] {
+	parent := r.n
+	n := parent.ctx.newNode(fmt.Sprintf("map:%s(%s)", name, parent.name), parent.parts, countOf[U])
+	n.narrowParents = []*node{parent}
+	n.compute = func(tc *taskContext, p int) any {
+		in := parent.iterate(tc, p).([]T)
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out
+	}
+	return &RDD[U]{n: n}
+}
+
+// MapPartitions applies f to each whole partition, for transformations that
+// amortise per-partition setup (the partition index is passed through).
+func MapPartitions[T, U any](r *RDD[T], name string, f func(p int, in []T) []U) *RDD[U] {
+	parent := r.n
+	n := parent.ctx.newNode(fmt.Sprintf("mapPartitions:%s(%s)", name, parent.name), parent.parts, countOf[U])
+	n.narrowParents = []*node{parent}
+	n.compute = func(tc *taskContext, p int) any {
+		return f(p, parent.iterate(tc, p).([]T))
+	}
+	return &RDD[U]{n: n}
+}
+
+// Filter keeps the elements for which pred is true.
+func Filter[T any](r *RDD[T], name string, pred func(T) bool) *RDD[T] {
+	parent := r.n
+	n := parent.ctx.newNode(fmt.Sprintf("filter:%s(%s)", name, parent.name), parent.parts, countOf[T])
+	n.narrowParents = []*node{parent}
+	n.bytesPerElem = parent.bytesPerElem
+	n.compute = func(tc *taskContext, p int) any {
+		in := parent.iterate(tc, p).([]T)
+		var out []T
+		for _, v := range in {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		if out == nil {
+			out = []T{}
+		}
+		return out
+	}
+	return &RDD[T]{n: n}
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], name string, f func(T) []U) *RDD[U] {
+	parent := r.n
+	n := parent.ctx.newNode(fmt.Sprintf("flatMap:%s(%s)", name, parent.name), parent.parts, countOf[U])
+	n.narrowParents = []*node{parent}
+	n.compute = func(tc *taskContext, p int) any {
+		in := parent.iterate(tc, p).([]T)
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		if out == nil {
+			out = []U{}
+		}
+		return out
+	}
+	return &RDD[U]{n: n}
+}
+
+// Union concatenates two RDDs of the same type; partitions of a follow
+// partitions of b.
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	if a.n.ctx != b.n.ctx {
+		panic("rdd: union of RDDs from different contexts")
+	}
+	ctx := a.n.ctx
+	n := ctx.newNode(fmt.Sprintf("union(%s,%s)", a.n.name, b.n.name), a.n.parts+b.n.parts, countOf[T])
+	n.narrowParents = []*node{a.n, b.n}
+	n.bytesPerElem = a.n.bytesPerElem
+	n.compute = func(tc *taskContext, p int) any {
+		if p < a.n.parts {
+			return a.n.iterate(tc, p)
+		}
+		return b.n.iterate(tc, p-a.n.parts)
+	}
+	return &RDD[T]{n: n}
+}
+
+// Collect materialises the whole RDD on the driver in partition order.
+func Collect[T any](r *RDD[T]) ([]T, error) {
+	parts := make([][]T, r.n.parts)
+	err := r.n.ctx.runJob(r.n, "collect", func(p int, v any) {
+		parts[p] = v.([]T)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// Count returns the number of elements.
+func Count[T any](r *RDD[T]) (int, error) {
+	counts := make([]int, r.n.parts)
+	err := r.n.ctx.runJob(r.n, "count", func(p int, v any) {
+		counts[p] = len(v.([]T))
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// Reduce folds all elements with f, which must be associative and
+// commutative. It returns an error on an empty RDD.
+func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
+	type partial struct {
+		v  T
+		ok bool
+	}
+	partials := make([]partial, r.n.parts)
+	var zero T
+	err := r.n.ctx.runJob(r.n, "reduce", func(p int, v any) {
+		in := v.([]T)
+		if len(in) == 0 {
+			return
+		}
+		acc := in[0]
+		for _, x := range in[1:] {
+			acc = f(acc, x)
+		}
+		partials[p] = partial{v: acc, ok: true}
+	})
+	if err != nil {
+		return zero, err
+	}
+	var acc T
+	seen := false
+	for _, pt := range partials {
+		if !pt.ok {
+			continue
+		}
+		if !seen {
+			acc, seen = pt.v, true
+		} else {
+			acc = f(acc, pt.v)
+		}
+	}
+	if !seen {
+		return zero, fmt.Errorf("rdd: Reduce of empty RDD")
+	}
+	return acc, nil
+}
+
+// Foreach runs visit once per partition on the driver, in no particular
+// order but with exclusive access (visit need not be concurrency-safe). It
+// is the low-level action behind custom aggregations.
+func Foreach[T any](r *RDD[T], visit func(p int, in []T)) error {
+	return r.n.ctx.runJob(r.n, "foreach", func(p int, v any) {
+		visit(p, v.([]T))
+	})
+}

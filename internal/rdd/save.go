@@ -1,0 +1,59 @@
+// Output action: writing an RDD back to the distributed file system, the
+// way Spark jobs persist results (saveAsTextFile with one part-NNNNN file
+// per partition, concatenated here into a single DFS file since our DFS
+// models files, not directories).
+
+package rdd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SaveAsTextFile formats every element with format (one per line, in
+// partition order) and writes the result to the context's file system under
+// name. It is an action: it runs a job and materialises the RDD.
+func SaveAsTextFile[T any](r *RDD[T], name string, format func(T) string) error {
+	if name == "" {
+		return fmt.Errorf("rdd: empty output name")
+	}
+	parts := make([][]T, r.n.parts)
+	if err := r.n.ctx.runJob(r.n, "saveAsTextFile", func(p int, v any) {
+		parts[p] = v.([]T)
+	}); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, part := range parts {
+		for _, v := range part {
+			sb.WriteString(format(v))
+			sb.WriteByte('\n')
+		}
+	}
+	_, err := r.n.ctx.fs.Write(name, []byte(sb.String()))
+	return err
+}
+
+// Checkpoint materialises the RDD to the distributed file system and returns
+// a new RDD reading from that file — Spark's reliable checkpointing, which
+// truncates lineage: downstream computations (and failure recovery) restart
+// from the persisted copy instead of the original dependency chain. encode
+// and decode must round-trip an element through one text line.
+func Checkpoint[T any](r *RDD[T], name string, encode func(T) string, decode func(string) (T, error)) (*RDD[T], error) {
+	if err := SaveAsTextFile(r, name, encode); err != nil {
+		return nil, err
+	}
+	lines, err := r.n.ctx.TextFile(name, r.n.parts)
+	if err != nil {
+		return nil, err
+	}
+	out := Map(lines, "checkpoint:"+name, func(line string) T {
+		v, err := decode(line)
+		if err != nil {
+			panic(fmt.Sprintf("rdd: checkpoint %s: %v", name, err))
+		}
+		return v
+	})
+	out.n.bytesPerElem = r.n.bytesPerElem
+	return out, nil
+}

@@ -1,0 +1,274 @@
+// The DAG scheduler. A job is split into stages at shuffle boundaries: every
+// shuffle dependency reachable from the action's RDD becomes a map stage
+// (run once, outputs retained), and the action itself is the result stage.
+// Within a stage, one task per partition executes the pipelined narrow chain.
+//
+// Tasks are placed on executors by locality preference (cached block holder,
+// then HDFS replica node, then least-loaded), run for real on the host under
+// a bounded worker pool, and have their measured compute time plus modelled
+// I/O converted into virtual seconds on the executor's core slots.
+
+package rdd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sparkscore/internal/simtime"
+)
+
+type task struct {
+	part     int
+	executor int
+	run      func(tc *taskContext)
+
+	// filled after execution
+	computeSec float64
+	tc         *taskContext
+}
+
+// runJob executes the action on the final node, calling visit once per
+// partition with the materialised partition value. visit runs under the
+// driver lock (no internal synchronisation needed).
+func (c *Context) runJob(final *node, action string, visit func(p int, v any)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rdd: job %s(%s) failed: %v", action, final.name, r)
+		}
+	}()
+
+	jm := JobMetrics{Action: action, RDD: final.name}
+	jm.VirtualSeconds += c.chargeBroadcast()
+
+	// Run every map stage this job depends on, bottom-up.
+	done := map[int]bool{}
+	var ensure func(n *node) error
+	ensure = func(n *node) error {
+		for _, sd := range n.stageShuffleDeps() {
+			if done[sd.id] {
+				continue
+			}
+			done[sd.id] = true
+			if err := ensure(sd.parent); err != nil {
+				return err
+			}
+			sd.mu.Lock()
+			ran := sd.done
+			sd.done = true
+			sd.mu.Unlock()
+			if ran {
+				continue
+			}
+			tasks := make([]*task, 0, sd.parent.parts)
+			for p := 0; p < sd.parent.parts; p++ {
+				if c.shuffle.has(sd.id, p) {
+					continue
+				}
+				p := p
+				tasks = append(tasks, &task{part: p, run: func(tc *taskContext) { sd.runMap(tc, p) }})
+			}
+			if err := c.runStage(sd.parent, tasks, &jm); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := ensure(final); err != nil {
+		return err
+	}
+
+	// Result stage.
+	var visitMu sync.Mutex
+	tasks := make([]*task, final.parts)
+	for p := 0; p < final.parts; p++ {
+		p := p
+		tasks[p] = &task{part: p, run: func(tc *taskContext) {
+			v := final.iterate(tc, p)
+			visitMu.Lock()
+			visit(p, v)
+			visitMu.Unlock()
+		}}
+	}
+	if err := c.runStage(final, tasks, &jm); err != nil {
+		return err
+	}
+
+	jm.Evictions = c.blocks.evictionCount()
+	c.mu.Lock()
+	c.clock += jm.VirtualSeconds
+	c.jobs = append(c.jobs, jm)
+	c.mu.Unlock()
+	return nil
+}
+
+// runStage places, executes, and accounts one stage.
+func (c *Context) runStage(stageRDD *node, tasks []*task, jm *JobMetrics) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	jm.Stages++
+	jm.Tasks += len(tasks)
+
+	// Placement: prefer localities, balance by per-stage assignment counts.
+	loads := map[int]int{}
+	c.mu.Lock()
+	for _, t := range tasks {
+		t.executor = c.placeLocked(stageRDD.preferredExecutors(t.part), loads)
+	}
+	c.mu.Unlock()
+
+	// Real execution under the host worker pool.
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		stageErr error
+	)
+	for _, t := range tasks {
+		wg.Add(1)
+		c.workers <- struct{}{}
+		go func(t *task) {
+			defer func() {
+				if r := recover(); r != nil {
+					errOnce.Do(func() { stageErr = fmt.Errorf("task %d on executor %d: %v", t.part, t.executor, r) })
+				}
+				<-c.workers
+				wg.Done()
+			}()
+			c.beforeTask(t)
+			tc := &taskContext{ctx: c, executor: t.executor}
+			start := time.Now()
+			t.run(tc)
+			t.computeSec = time.Since(start).Seconds()
+			t.tc = tc
+			c.mu.Lock()
+			c.tasksDone++
+			c.mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	if stageErr != nil {
+		return stageErr
+	}
+
+	// Virtual accounting: greedy list scheduling of task durations on each
+	// executor's core slots; the stage barrier is the slowest executor.
+	pools := map[int]*simtime.SlotPool{}
+	makespan := 0.0
+	for _, t := range tasks {
+		pool, ok := pools[t.executor]
+		if !ok {
+			pool = simtime.NewSlotPool(c.cluster.Executor(t.executor).Cores)
+			pools[t.executor] = pool
+		}
+		done := pool.Run(0, c.taskDuration(t))
+		if done > makespan {
+			makespan = done
+		}
+		c.accumulate(jm, t)
+	}
+	jm.VirtualSeconds += makespan + c.cfg.StageOverheadSec
+	return nil
+}
+
+// beforeTask fires any pending failure plan and re-places the task if its
+// executor has died since placement.
+func (c *Context) beforeTask(t *task) {
+	c.mu.Lock()
+	var fire *failurePlan
+	if fp := c.failPlan; fp != nil && !fp.fired && c.tasksDone >= fp.afterTasks {
+		fp.fired = true
+		fire = fp
+	}
+	c.mu.Unlock()
+	if fire != nil {
+		// Best effort; failing the last live executor is refused.
+		_ = c.FailExecutor(fire.executor)
+	}
+	c.mu.Lock()
+	if !c.cluster.Live(t.executor) {
+		t.executor = c.placeLocked(nil, map[int]int{})
+	}
+	c.mu.Unlock()
+}
+
+// placeLocked picks an executor: the least-loaded live executor among the
+// preferred set, else the least-loaded live executor overall, breaking ties
+// by id for determinism. Caller holds c.mu.
+func (c *Context) placeLocked(preferred []int, loads map[int]int) int {
+	if c.cfg.DisableLocality {
+		// Ignore preferences and place uniformly at random (deterministic in
+		// the context seed): without delay scheduling, where a task lands has
+		// no relation to where its data lives.
+		live := c.cluster.LiveExecutors()
+		id := live[c.r.Intn(len(live))]
+		loads[id]++
+		return id
+	}
+	pick := func(cands []int) (int, bool) {
+		best, bestLoad := -1, int(^uint(0)>>1)
+		for _, id := range cands {
+			if !c.cluster.Live(id) {
+				continue
+			}
+			if l := loads[id]; l < bestLoad {
+				best, bestLoad = id, l
+			}
+		}
+		return best, best >= 0
+	}
+	anyID, anyOK := pick(c.cluster.LiveExecutors())
+	if !anyOK {
+		panic("rdd: no live executors")
+	}
+	// Delay-scheduling semantics: take the preferred executor while it is no
+	// more loaded than the best alternative; once locality would stack tasks
+	// while other executors idle, fall through to the cluster-wide choice.
+	if prefID, ok := pick(preferred); ok && loads[prefID] <= loads[anyID] {
+		loads[prefID]++
+		return prefID
+	}
+	loads[anyID]++
+	return anyID
+}
+
+// taskDuration converts a task's measured compute time and recorded I/O into
+// simulated seconds.
+func (c *Context) taskDuration(t *task) float64 {
+	cfg := c.cfg
+	tc := t.tc
+	diskBps := cfg.DiskMBps * 1e6
+	netBps := cfg.NetMBps * 1e6
+	memBps := cfg.MemGBps * 1e9
+
+	dur := cfg.SchedOverheadSec +
+		t.computeSec*cfg.CPUScale +
+		float64(tc.dfsLocalBytes+tc.dfsRemoteBytes)/(cfg.ParseMBps*1e6) +
+		float64(tc.dfsLocalBytes)/diskBps +
+		float64(tc.dfsRemoteBytes)/netBps +
+		float64(tc.shuffleLocalBytes)/diskBps +
+		float64(tc.shuffleRemoteByte)/netBps +
+		float64(tc.cacheLocalBytes)/memBps +
+		float64(tc.cacheDiskLocalByte)/diskBps +
+		float64(tc.cacheRemoteBytes)/netBps +
+		float64(tc.shipBytes)/netBps
+
+	// Spill model: the task's share of execution memory is the non-storage
+	// memory divided over the executor's core slots; any working set beyond
+	// it spills to disk and is read back.
+	exec := c.cluster.Executor(t.executor)
+	execMemPerSlot := float64(exec.MemBytes) * (1 - cfg.StorageFraction) / float64(exec.Cores)
+	if ws := float64(tc.workBytes()); ws > execMemPerSlot {
+		dur += 2 * (ws - execMemPerSlot) / diskBps
+	}
+	return dur
+}
+
+func (c *Context) accumulate(jm *JobMetrics, t *task) {
+	tc := t.tc
+	jm.ComputeSeconds += t.computeSec
+	jm.DFSBytes += tc.dfsLocalBytes + tc.dfsRemoteBytes
+	jm.DFSLocalBytes += tc.dfsLocalBytes
+	jm.ShuffleBytes += tc.shuffleLocalBytes + tc.shuffleRemoteByte
+	jm.CacheReadBytes += tc.cacheLocalBytes + tc.cacheDiskLocalByte + tc.cacheRemoteBytes
+}

@@ -1,0 +1,335 @@
+// Hash shuffle: map tasks partition their output by key hash into one bucket
+// per reduce partition and register the buckets with the shuffle manager;
+// reduce tasks fetch their bucket from every map output and merge. Outputs
+// are retained for the lifetime of the context (as with Spark's external
+// shuffle service on YARN, they survive executor failures), so a shuffle is
+// computed at most once per lineage.
+
+package rdd
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+)
+
+// KV is a key-value pair, the element type of pair RDDs.
+type KV[K comparable, V any] struct {
+	K K
+	V V
+}
+
+// JoinPair carries the matched values of an inner join.
+type JoinPair[V, W any] struct {
+	Left  V
+	Right W
+}
+
+type shuffleDep struct {
+	id     int
+	parent *node
+	parts  int
+	runMap func(tc *taskContext, mapPart int)
+
+	mu   sync.Mutex
+	done bool
+}
+
+type mapKey struct {
+	shuffle int
+	mapPart int
+}
+
+type mapOutput struct {
+	node    int // cluster node that produced (and serves) the output
+	buckets []any
+	bytes   []int64
+}
+
+type shuffleManager struct {
+	mu      sync.Mutex
+	outputs map[mapKey]*mapOutput
+}
+
+func newShuffleManager() *shuffleManager {
+	return &shuffleManager{outputs: map[mapKey]*mapOutput{}}
+}
+
+func (sm *shuffleManager) write(shuffle, mapPart, node int, buckets []any, bytes []int64) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.outputs[mapKey{shuffle, mapPart}] = &mapOutput{node: node, buckets: buckets, bytes: bytes}
+}
+
+func (sm *shuffleManager) has(shuffle, mapPart int) bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	_, ok := sm.outputs[mapKey{shuffle, mapPart}]
+	return ok
+}
+
+// read fetches reduce partition p from all map outputs of the shuffle,
+// charging local or remote transfer on the task context.
+func (sm *shuffleManager) read(tc *taskContext, shuffle, reducePart, mapParts int) []any {
+	out := make([]any, 0, mapParts)
+	for m := 0; m < mapParts; m++ {
+		sm.mu.Lock()
+		mo, ok := sm.outputs[mapKey{shuffle, m}]
+		sm.mu.Unlock()
+		if !ok {
+			panic(fmt.Sprintf("rdd: missing shuffle output %d/%d", shuffle, m))
+		}
+		if mo.node == tc.node() {
+			tc.shuffleLocalBytes += mo.bytes[reducePart]
+		} else {
+			tc.shuffleRemoteByte += mo.bytes[reducePart]
+		}
+		out = append(out, mo.buckets[reducePart])
+	}
+	return out
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// hashPartition maps a key to a reduce partition. Integer and string keys are
+// hashed natively; anything else falls back to its fmt representation (slow
+// but correct; SparkScore itself only keys by int and string).
+func hashPartition[K comparable](k K, parts int) int {
+	var h uint64
+	switch v := any(k).(type) {
+	case int:
+		h = mix64(uint64(v))
+	case int32:
+		h = mix64(uint64(v))
+	case int64:
+		h = mix64(uint64(v))
+	case uint64:
+		h = mix64(v)
+	case string:
+		h = maphash.String(hashSeed, v)
+	default:
+		h = maphash.String(hashSeed, fmt.Sprint(v))
+	}
+	return int(h % uint64(parts))
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// orderedMap is a map that remembers first-insertion order, so shuffle
+// outputs are deterministic regardless of Go's randomised map iteration.
+type orderedMap[K comparable, V any] struct {
+	idx  map[K]int
+	keys []K
+	vals []V
+}
+
+func newOrderedMap[K comparable, V any]() *orderedMap[K, V] {
+	return &orderedMap[K, V]{idx: map[K]int{}}
+}
+
+func (m *orderedMap[K, V]) get(k K) (V, bool) {
+	if i, ok := m.idx[k]; ok {
+		return m.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+func (m *orderedMap[K, V]) set(k K, v V) {
+	if i, ok := m.idx[k]; ok {
+		m.vals[i] = v
+		return
+	}
+	m.idx[k] = len(m.keys)
+	m.keys = append(m.keys, k)
+	m.vals = append(m.vals, v)
+}
+
+func (m *orderedMap[K, V]) pairs() []KV[K, V] {
+	out := make([]KV[K, V], len(m.keys))
+	for i, k := range m.keys {
+		out[i] = KV[K, V]{K: k, V: m.vals[i]}
+	}
+	return out
+}
+
+// ReduceByKey merges the values of each key with combine, which must be
+// associative and commutative. Map-side combining runs before the shuffle,
+// as in Spark. parts <= 0 inherits the parent partition count.
+func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], combine func(V, V) V, parts int) *RDD[KV[K, V]] {
+	ctx := r.n.ctx
+	if parts <= 0 {
+		parts = r.n.parts
+	}
+	parent := r.n
+	sd := &shuffleDep{id: ctx.newShuffleID(), parent: parent, parts: parts}
+	sd.runMap = func(tc *taskContext, mapPart int) {
+		in := parent.iterate(tc, mapPart).([]KV[K, V])
+		buckets := make([]*orderedMap[K, V], parts)
+		for i := range buckets {
+			buckets[i] = newOrderedMap[K, V]()
+		}
+		for _, kv := range in {
+			b := buckets[hashPartition(kv.K, parts)]
+			if old, ok := b.get(kv.K); ok {
+				b.set(kv.K, combine(old, kv.V))
+			} else {
+				b.set(kv.K, kv.V)
+			}
+		}
+		anyBuckets := make([]any, parts)
+		bytes := make([]int64, parts)
+		for i, b := range buckets {
+			pairs := b.pairs()
+			anyBuckets[i] = pairs
+			bytes[i] = int64(len(pairs)) * parent.bytesPerElem
+		}
+		ctx.shuffle.write(sd.id, mapPart, tc.node(), anyBuckets, bytes)
+	}
+	n := ctx.newNode(fmt.Sprintf("reduceByKey(%s)", parent.name), parts, countOf[KV[K, V]])
+	n.shuffleIn = []*shuffleDep{sd}
+	n.bytesPerElem = parent.bytesPerElem
+	n.compute = func(tc *taskContext, p int) any {
+		merged := newOrderedMap[K, V]()
+		for _, bucket := range ctx.shuffle.read(tc, sd.id, p, parent.parts) {
+			for _, kv := range bucket.([]KV[K, V]) {
+				if old, ok := merged.get(kv.K); ok {
+					merged.set(kv.K, combine(old, kv.V))
+				} else {
+					merged.set(kv.K, kv.V)
+				}
+			}
+		}
+		return merged.pairs()
+	}
+	return &RDD[KV[K, V]]{n: n}
+}
+
+// GroupByKey collects all values of each key into a slice, preserving the
+// deterministic (map-partition, input) order.
+func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], parts int) *RDD[KV[K, []V]] {
+	ctx := r.n.ctx
+	if parts <= 0 {
+		parts = r.n.parts
+	}
+	parent := r.n
+	sd := &shuffleDep{id: ctx.newShuffleID(), parent: parent, parts: parts}
+	sd.runMap = func(tc *taskContext, mapPart int) {
+		in := parent.iterate(tc, mapPart).([]KV[K, V])
+		buckets := make([][]KV[K, V], parts)
+		for _, kv := range in {
+			i := hashPartition(kv.K, parts)
+			buckets[i] = append(buckets[i], kv)
+		}
+		anyBuckets := make([]any, parts)
+		bytes := make([]int64, parts)
+		for i, b := range buckets {
+			anyBuckets[i] = b
+			bytes[i] = int64(len(b)) * parent.bytesPerElem
+		}
+		ctx.shuffle.write(sd.id, mapPart, tc.node(), anyBuckets, bytes)
+	}
+	n := ctx.newNode(fmt.Sprintf("groupByKey(%s)", parent.name), parts, countOf[KV[K, []V]])
+	n.shuffleIn = []*shuffleDep{sd}
+	n.bytesPerElem = parent.bytesPerElem
+	n.compute = func(tc *taskContext, p int) any {
+		merged := newOrderedMap[K, []V]()
+		for _, bucket := range ctx.shuffle.read(tc, sd.id, p, parent.parts) {
+			for _, kv := range bucket.([]KV[K, V]) {
+				old, _ := merged.get(kv.K)
+				merged.set(kv.K, append(old, kv.V))
+			}
+		}
+		return merged.pairs()
+	}
+	return &RDD[KV[K, []V]]{n: n}
+}
+
+// Join computes the inner join of two pair RDDs on their keys (the operation
+// joining the weight RDD with the per-SNP score RDD in Algorithm 1 step 9).
+// Keys appearing multiple times on a side produce the usual cross product.
+func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int) *RDD[KV[K, JoinPair[V, W]]] {
+	ctx := a.n.ctx
+	if b.n.ctx != ctx {
+		panic("rdd: joining RDDs from different contexts")
+	}
+	if parts <= 0 {
+		parts = a.n.parts
+	}
+	left, right := a.n, b.n
+	sdL := &shuffleDep{id: ctx.newShuffleID(), parent: left, parts: parts}
+	sdL.runMap = writeJoinSide[K, V](ctx, sdL, left, parts)
+	sdR := &shuffleDep{id: ctx.newShuffleID(), parent: right, parts: parts}
+	sdR.runMap = writeJoinSide[K, W](ctx, sdR, right, parts)
+
+	n := ctx.newNode(fmt.Sprintf("join(%s,%s)", left.name, right.name), parts, countOf[KV[K, JoinPair[V, W]]])
+	n.shuffleIn = []*shuffleDep{sdL, sdR}
+	n.bytesPerElem = left.bytesPerElem + right.bytesPerElem
+	n.compute = func(tc *taskContext, p int) any {
+		ls := newOrderedMap[K, []V]()
+		for _, bucket := range ctx.shuffle.read(tc, sdL.id, p, left.parts) {
+			for _, kv := range bucket.([]KV[K, V]) {
+				old, _ := ls.get(kv.K)
+				ls.set(kv.K, append(old, kv.V))
+			}
+		}
+		rs := newOrderedMap[K, []W]()
+		for _, bucket := range ctx.shuffle.read(tc, sdR.id, p, right.parts) {
+			for _, kv := range bucket.([]KV[K, W]) {
+				old, _ := rs.get(kv.K)
+				rs.set(kv.K, append(old, kv.V))
+			}
+		}
+		var out []KV[K, JoinPair[V, W]]
+		for _, k := range ls.keys {
+			lvs, _ := ls.get(k)
+			rvs, ok := rs.get(k)
+			if !ok {
+				continue
+			}
+			for _, lv := range lvs {
+				for _, rv := range rvs {
+					out = append(out, KV[K, JoinPair[V, W]]{K: k, V: JoinPair[V, W]{Left: lv, Right: rv}})
+				}
+			}
+		}
+		return out
+	}
+	return &RDD[KV[K, JoinPair[V, W]]]{n: n}
+}
+
+func writeJoinSide[K comparable, V any](ctx *Context, sd *shuffleDep, parent *node, parts int) func(tc *taskContext, mapPart int) {
+	return func(tc *taskContext, mapPart int) {
+		in := parent.iterate(tc, mapPart).([]KV[K, V])
+		buckets := make([][]KV[K, V], parts)
+		for _, kv := range in {
+			i := hashPartition(kv.K, parts)
+			buckets[i] = append(buckets[i], kv)
+		}
+		anyBuckets := make([]any, parts)
+		bytes := make([]int64, parts)
+		for i, b := range buckets {
+			anyBuckets[i] = b
+			bytes[i] = int64(len(b)) * parent.bytesPerElem
+		}
+		ctx.shuffle.write(sd.id, mapPart, tc.node(), anyBuckets, bytes)
+	}
+}
+
+// CollectAsMap collects a pair RDD into a driver-side map. Later duplicates
+// of a key overwrite earlier ones, as in Spark.
+func CollectAsMap[K comparable, V any](r *RDD[KV[K, V]]) (map[K]V, error) {
+	pairs, err := Collect(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]V, len(pairs))
+	for _, kv := range pairs {
+		out[kv.K] = kv.V
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator together with the distribution samplers SparkScore needs
+// (uniform, normal, exponential, Bernoulli, binomial) and a Fisher–Yates
+// shuffle.
+//
+// Determinism matters here for two reasons. First, resampling inference must
+// be reproducible: a permutation p-value is only auditable if the B shuffles
+// can be regenerated from a seed. Second, the engine executes partitions in
+// parallel and possibly re-executes them after a simulated executor failure;
+// every partition therefore derives its own independent stream via Split so
+// that results do not depend on scheduling order or on recomputation.
+//
+// The core generator is xoshiro256** seeded through SplitMix64, both public
+// domain algorithms by Blackman and Vigna. They are small, fast, pass BigCrush,
+// and — unlike math/rand's global source — are trivially splittable.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is invalid; construct one
+// with New or Split. RNG is not safe for concurrent use; give each goroutine
+// its own stream via Split.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+
+	// Cached second output of the polar normal method.
+	spare     float64
+	haveSpare bool
+}
+
+// splitmix64 advances the given state and returns the next output. It is used
+// both to seed xoshiro from a single 64-bit seed and to mix split keys.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically seeded from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	st := seed
+	r.s0 = splitmix64(&st)
+	r.s1 = splitmix64(&st)
+	r.s2 = splitmix64(&st)
+	r.s3 = splitmix64(&st)
+	// xoshiro must not be seeded with all zeros; splitmix64 cannot produce
+	// four zero outputs in a row, so no further check is needed.
+	return r
+}
+
+// Split derives an independent stream keyed by key. Streams obtained from the
+// same parent with different keys are statistically independent, and Split
+// does not advance the parent, so the derivation is order-insensitive:
+// Split(2) yields the same stream whether or not Split(1) was called first.
+func (r *RNG) Split(key uint64) *RNG {
+	// Mix the parent state with the key through splitmix64 so that nearby
+	// keys (0, 1, 2, ...) land in distant states.
+	st := r.s0 ^ (r.s3 * 0x9e3779b97f4a7c15) ^ key
+	return New(splitmix64(&st))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling with rejection to remove
+	// modulo bias.
+	un := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, un)
+		if lo >= un || lo >= (-un)%un {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Normal returns a standard normal draw using the polar (Marsaglia) method.
+func (r *RNG) Normal() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.haveSpare = true
+		return u * f
+	}
+}
+
+// Exponential returns a draw from an exponential distribution with the given
+// rate (mean 1/rate). It panics if rate <= 0.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential called with rate <= 0")
+	}
+	// 1-Float64() is in (0,1], so the log argument is never zero.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Binomial returns a draw from Binomial(n, p) by summing Bernoulli trials.
+// SparkScore only draws genotypes with n = 2, so the O(n) method is exact and
+// fast enough; no inversion or BTPE approximation is needed.
+func (r *RNG) Binomial(n int, p float64) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			k++
+		}
+	}
+	return k
+}
+
+// Perm returns a uniformly random permutation of [0, n) via Fisher–Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle applies a uniform Fisher–Yates shuffle over n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

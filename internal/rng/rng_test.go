@@ -1,0 +1,293 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitOrderInsensitive(t *testing.T) {
+	parent1 := New(7)
+	parent2 := New(7)
+	// Derive key 5 after deriving other keys first in one case.
+	parent2.Split(1)
+	parent2.Split(9)
+	s1 := parent1.Split(5)
+	s2 := parent2.Split(5)
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatalf("Split(5) depends on prior Split calls at draw %d", i)
+		}
+	}
+}
+
+func TestSplitStreamsIndependent(t *testing.T) {
+	parent := New(3)
+	a := parent.Split(0)
+	b := parent.Split(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times out of 1000", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(19)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from expected %.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(23)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		z := r.Normal()
+		sum += z
+		sumSq += z * z
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %.4f, want ~1", variance)
+	}
+}
+
+func TestNormalTails(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	beyond2 := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(r.Normal()) > 2 {
+			beyond2++
+		}
+	}
+	// P(|Z|>2) ≈ 0.0455.
+	frac := float64(beyond2) / n
+	if frac < 0.035 || frac > 0.056 {
+		t.Fatalf("fraction beyond 2 sigma = %.4f, want ~0.0455", frac)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	rate := 1.0 / 12.0 // the paper's survival-time rate
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exponential(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-12) > 0.2 {
+		t.Fatalf("exponential mean %.3f, want ~12", mean)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(37)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.85) { // the paper's event rate
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.85) > 0.01 {
+		t.Fatalf("Bernoulli(0.85) rate %.4f", frac)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(41)
+	const n = 100000
+	p := 0.3
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		k := r.Binomial(2, p) // genotype model from Section III
+		if k < 0 || k > 2 {
+			t.Fatalf("Binomial(2,p) = %d out of range", k)
+		}
+		sum += float64(k)
+		sumSq += float64(k * k)
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2*p) > 0.02 {
+		t.Errorf("binomial mean %.4f, want %.2f", mean, 2*p)
+	}
+	if math.Abs(variance-2*p*(1-p)) > 0.02 {
+		t.Errorf("binomial variance %.4f, want %.3f", variance, 2*p*(1-p))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(43)
+	f := func(seed uint64) bool {
+		n := int(seed%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(47)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("Perm first element %d appeared %d times, expected ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestShuffleZeroAndOne(t *testing.T) {
+	r := New(53)
+	// Must not call swap for n <= 1.
+	r.Shuffle(0, func(i, j int) { t.Fatal("swap called for n=0") })
+	r.Shuffle(1, func(i, j int) { t.Fatal("swap called for n=1") })
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal()
+	}
+}

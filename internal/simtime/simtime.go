@@ -1,0 +1,101 @@
+// Package simtime provides the virtual-time machinery of the cluster
+// simulator. The engine executes every task for real on the host (so results
+// are exact), but charges each task a *simulated* duration and schedules those
+// durations onto the virtual core slots of the configured cluster. Wall-clock
+// questions like "how long does this job take on 18 nodes?" are answered in
+// virtual seconds, independent of how many cores the host happens to have.
+//
+// The model is classic greedy list scheduling: each executor owns a fixed
+// number of core slots; tasks are dispatched in submission order to the
+// earliest-free slot of their assigned executor. Independent tasks of a stage
+// therefore fill the cluster exactly as Spark's task scheduler fills executor
+// cores, and a stage's makespan is the completion time of its last task.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// SlotPool models the core slots of one executor as a min-heap of
+// free-at times.
+type SlotPool struct {
+	free floatHeap
+}
+
+// NewSlotPool returns a pool of n core slots, all free at time 0.
+func NewSlotPool(n int) *SlotPool {
+	if n <= 0 {
+		panic(fmt.Sprintf("simtime: slot pool with %d slots", n))
+	}
+	p := &SlotPool{free: make(floatHeap, n)}
+	heap.Init(&p.free)
+	return p
+}
+
+// Slots returns the number of core slots in the pool.
+func (p *SlotPool) Slots() int { return len(p.free) }
+
+// Run schedules a task of the given duration that becomes ready at time
+// ready; it starts at max(ready, earliest slot free time) and the slot is
+// occupied until start+duration. Run returns the completion time.
+func (p *SlotPool) Run(ready, duration float64) float64 {
+	if duration < 0 {
+		panic(fmt.Sprintf("simtime: negative task duration %g", duration))
+	}
+	start := p.free[0]
+	if ready > start {
+		start = ready
+	}
+	done := start + duration
+	p.free[0] = done
+	heap.Fix(&p.free, 0)
+	return done
+}
+
+// Horizon returns the latest completion time across all slots, i.e. when the
+// pool would next be fully idle.
+func (p *SlotPool) Horizon() float64 {
+	h := 0.0
+	for _, f := range p.free {
+		if f > h {
+			h = f
+		}
+	}
+	return h
+}
+
+// Reset marks every slot free at the given time. Stage barriers reset all
+// pools to the stage start.
+func (p *SlotPool) Reset(at float64) {
+	for i := range p.free {
+		p.free[i] = at
+	}
+	heap.Init(&p.free)
+}
+
+type floatHeap []float64
+
+func (h floatHeap) Len() int            { return len(h) }
+func (h floatHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *floatHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Makespan computes the makespan of scheduling the given task durations
+// greedily over slots core slots starting at time 0. It is the analytic
+// answer used in tests and quick estimates; the engine drives SlotPools
+// directly so that per-executor assignment is respected.
+func Makespan(durations []float64, slots int) float64 {
+	p := NewSlotPool(slots)
+	for _, d := range durations {
+		p.Run(0, d)
+	}
+	return p.Horizon()
+}

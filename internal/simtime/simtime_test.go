@@ -1,0 +1,131 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sparkscore/internal/rng"
+)
+
+func TestSlotPoolSequentialOnOneSlot(t *testing.T) {
+	p := NewSlotPool(1)
+	if done := p.Run(0, 2); done != 2 {
+		t.Fatalf("first task done at %v, want 2", done)
+	}
+	if done := p.Run(0, 3); done != 5 {
+		t.Fatalf("second task done at %v, want 5", done)
+	}
+	if p.Horizon() != 5 {
+		t.Fatalf("horizon %v, want 5", p.Horizon())
+	}
+}
+
+func TestSlotPoolParallelism(t *testing.T) {
+	p := NewSlotPool(2)
+	p.Run(0, 4)
+	p.Run(0, 4)
+	if h := p.Horizon(); h != 4 {
+		t.Fatalf("two tasks on two slots finish at %v, want 4", h)
+	}
+	p.Run(0, 1) // lands on whichever slot frees at 4
+	if h := p.Horizon(); h != 5 {
+		t.Fatalf("third task pushes horizon to %v, want 5", h)
+	}
+}
+
+func TestSlotPoolReadyTime(t *testing.T) {
+	p := NewSlotPool(1)
+	if done := p.Run(10, 1); done != 11 {
+		t.Fatalf("task ready at 10 done at %v, want 11", done)
+	}
+}
+
+func TestSlotPoolReset(t *testing.T) {
+	p := NewSlotPool(3)
+	p.Run(0, 7)
+	p.Reset(100)
+	if done := p.Run(0, 1); done != 101 {
+		t.Fatalf("after Reset(100), task done at %v, want 101", done)
+	}
+}
+
+func TestSlotPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSlotPool(0) did not panic")
+		}
+	}()
+	NewSlotPool(0)
+}
+
+func TestSlotPoolNegativeDurationPanics(t *testing.T) {
+	p := NewSlotPool(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	p.Run(0, -1)
+}
+
+func TestMakespanEqualTasks(t *testing.T) {
+	// 8 unit tasks on 4 slots: exactly two waves.
+	d := make([]float64, 8)
+	for i := range d {
+		d[i] = 1
+	}
+	if m := Makespan(d, 4); m != 2 {
+		t.Fatalf("makespan %v, want 2", m)
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		n := rr.Intn(50) + 1
+		slots := rr.Intn(8) + 1
+		var total, longest float64
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = rr.Float64() * 10
+			total += d[i]
+			if d[i] > longest {
+				longest = d[i]
+			}
+		}
+		m := Makespan(d, slots)
+		lower := math.Max(total/float64(slots), longest)
+		// Greedy list scheduling is a 2-approximation; and it can never beat
+		// the area/critical-path lower bound.
+		return m >= lower-1e-9 && m <= 2*lower+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanMoreSlotsNeverSlower(t *testing.T) {
+	r := rng.New(2)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		n := rr.Intn(40) + 1
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = rr.Float64() * 5
+		}
+		prev := math.Inf(1)
+		for slots := 1; slots <= 8; slots *= 2 {
+			m := Makespan(d, slots)
+			if m > prev+1e-9 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquaredKnownQuantiles(t *testing.T) {
+	cases := []struct {
+		x    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{3.841458820694124, 1, 0.05, 1e-9},
+		{6.634896601021213, 1, 0.01, 1e-9},
+		{2.705543454095404, 1, 0.10, 1e-9},
+		{10.827566170662733, 1, 0.001, 1e-9},
+		{5.991464547107979, 2, 0.05, 1e-9},
+		{7.814727903251179, 3, 0.05, 1e-9},
+	}
+	for _, c := range cases {
+		got := ChiSquaredSurvival(c.x, c.df)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("P(chi2_%d > %.4f) = %.10f, want %.4f", c.df, c.x, got, c.want)
+		}
+	}
+}
+
+func TestChiSquaredDF2IsExponential(t *testing.T) {
+	// For df = 2 the survival function is exactly exp(-x/2).
+	for _, x := range []float64{0.1, 1, 2, 5, 10, 30} {
+		got := ChiSquaredSurvival(x, 2)
+		want := math.Exp(-x / 2)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("df=2 survival at %.1f: %.14f, want %.14f", x, got, want)
+		}
+	}
+}
+
+func TestChiSquaredBoundaries(t *testing.T) {
+	if got := ChiSquaredSurvival(0, 1); got != 1 {
+		t.Fatalf("survival at 0 = %v, want 1", got)
+	}
+	if got := ChiSquaredSurvival(-3, 1); got != 1 {
+		t.Fatalf("survival at negative = %v, want 1", got)
+	}
+	if got := ChiSquaredSurvival(1e4, 1); got > 1e-100 {
+		t.Fatalf("far tail = %v, want ~0", got)
+	}
+}
+
+func TestChiSquaredMonotone(t *testing.T) {
+	prev := 1.1
+	for x := 0.0; x <= 20; x += 0.25 {
+		p := ChiSquaredSurvival(x, 1)
+		if p > prev+1e-12 {
+			t.Fatalf("survival not monotone at x=%v: %v > %v", x, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("survival out of [0,1] at x=%v: %v", x, p)
+		}
+		prev = p
+	}
+}
+
+func TestChiSquaredPanicsOnBadDF(t *testing.T) {
+	assertPanics(t, "df=0", func() { ChiSquaredSurvival(1, 0) })
+}

@@ -1,0 +1,193 @@
+// Minimal dense linear algebra for covariate adjustment: symmetric
+// positive-definite solves via Cholesky, ordinary least squares, and
+// logistic regression by iteratively reweighted least squares. Only what the
+// adjusted score models need — not a general matrix library.
+
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// cholesky factors the symmetric positive-definite matrix a (row-major p×p)
+// in place into its lower triangle L with a = L·Lᵀ. It fails on non-PD input
+// (collinear covariates).
+func cholesky(a [][]float64) error {
+	p := len(a)
+	for j := 0; j < p; j++ {
+		orig := a[j][j]
+		d := orig
+		for k := 0; k < j; k++ {
+			d -= a[j][k] * a[j][k]
+		}
+		// Relative tolerance: an exactly-singular system can leave a tiny
+		// positive pivot through rounding; treat it as rank deficiency.
+		if d <= 1e-10*math.Max(orig, 1) || math.IsNaN(d) {
+			return fmt.Errorf("stats: matrix not positive definite at pivot %d (collinear covariates?)", j)
+		}
+		a[j][j] = math.Sqrt(d)
+		for i := j + 1; i < p; i++ {
+			s := a[i][j]
+			for k := 0; k < j; k++ {
+				s -= a[i][k] * a[j][k]
+			}
+			a[i][j] = s / a[j][j]
+		}
+	}
+	return nil
+}
+
+// cholSolve solves a·x = b for symmetric positive-definite a, overwriting a
+// with its Cholesky factor and b with the solution.
+func cholSolve(a [][]float64, b []float64) error {
+	if err := cholesky(a); err != nil {
+		return err
+	}
+	p := len(a)
+	// Forward substitution: L·y = b.
+	for i := 0; i < p; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i][k] * b[k]
+		}
+		b[i] = s / a[i][i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	for i := p - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < p; k++ {
+			s -= a[k][i] * b[k]
+		}
+		b[i] = s / a[i][i]
+	}
+	return nil
+}
+
+// designMatrix prepends an intercept column to the covariates: row i is
+// [1, X_i1, ..., X_ip].
+func designMatrix(x [][]float64, n int) ([][]float64, error) {
+	if len(x) != n {
+		return nil, fmt.Errorf("stats: %d covariate rows for %d patients", len(x), n)
+	}
+	p := -1
+	design := make([][]float64, n)
+	for i, row := range x {
+		if p == -1 {
+			p = len(row)
+		} else if len(row) != p {
+			return nil, fmt.Errorf("stats: covariate row %d has %d values, want %d", i, len(row), p)
+		}
+		design[i] = append([]float64{1}, row...)
+	}
+	return design, nil
+}
+
+// fitOLS fits y = X·β by least squares via the normal equations and returns
+// the coefficients and fitted values. X must have full column rank.
+func fitOLS(x [][]float64, y []float64) (coef, fitted []float64, err error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, nil, fmt.Errorf("stats: OLS with %d rows and %d outcomes", n, len(y))
+	}
+	p := len(x[0])
+	xtx := newSquare(p)
+	xty := make([]float64, p)
+	for i := 0; i < n; i++ {
+		for a := 0; a < p; a++ {
+			xty[a] += x[i][a] * y[i]
+			for b := 0; b <= a; b++ {
+				xtx[a][b] += x[i][a] * x[i][b]
+			}
+		}
+	}
+	symmetrise(xtx)
+	if err := cholSolve(xtx, xty); err != nil {
+		return nil, nil, err
+	}
+	coef = xty
+	fitted = make([]float64, n)
+	for i := 0; i < n; i++ {
+		for a := 0; a < p; a++ {
+			fitted[i] += x[i][a] * coef[a]
+		}
+	}
+	return coef, fitted, nil
+}
+
+// fitLogistic fits P(y=1) = expit(X·β) by iteratively reweighted least
+// squares and returns the coefficients and fitted probabilities. y must be
+// 0/1.
+func fitLogistic(x [][]float64, y []float64) (coef, fitted []float64, err error) {
+	const (
+		maxIter = 50
+		tol     = 1e-10
+	)
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, nil, fmt.Errorf("stats: logistic fit with %d rows and %d outcomes", n, len(y))
+	}
+	p := len(x[0])
+	coef = make([]float64, p)
+	fitted = make([]float64, n)
+	eta := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		info := newSquare(p)
+		grad := make([]float64, p)
+		for i := 0; i < n; i++ {
+			eta[i] = 0
+			for a := 0; a < p; a++ {
+				eta[i] += x[i][a] * coef[a]
+			}
+			mu := expit(eta[i])
+			fitted[i] = mu
+			w := mu * (1 - mu)
+			r := y[i] - mu
+			for a := 0; a < p; a++ {
+				grad[a] += x[i][a] * r
+				for b := 0; b <= a; b++ {
+					info[a][b] += w * x[i][a] * x[i][b]
+				}
+			}
+		}
+		symmetrise(info)
+		if err := cholSolve(info, grad); err != nil {
+			return nil, nil, fmt.Errorf("stats: logistic IRLS iteration %d: %w", iter, err)
+		}
+		maxStep := 0.0
+		for a := 0; a < p; a++ {
+			coef[a] += grad[a]
+			if s := math.Abs(grad[a]); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < tol {
+			return coef, fitted, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("stats: logistic IRLS did not converge in %d iterations", maxIter)
+}
+
+func expit(v float64) float64 {
+	if v >= 0 {
+		return 1 / (1 + math.Exp(-v))
+	}
+	e := math.Exp(v)
+	return e / (1 + e)
+}
+
+func newSquare(p int) [][]float64 {
+	m := make([][]float64, p)
+	for i := range m {
+		m[i] = make([]float64, p)
+	}
+	return m
+}
+
+func symmetrise(m [][]float64) {
+	for a := range m {
+		for b := 0; b < a; b++ {
+			m[b][a] = m[a][b]
+		}
+	}
+}

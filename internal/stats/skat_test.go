@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sparkscore/internal/data"
+	"sparkscore/internal/rng"
+)
+
+func TestSKATHandComputed(t *testing.T) {
+	set := data.SNPSet{Name: "g", SNPs: []int{0, 2}}
+	weights := data.Weights{2, 1, 0.5}
+	scores := []float64{3, 100, -4}
+	// S = 2²·3² + 0.5²·(−4)² = 36 + 4 = 40.
+	if got := SKAT(set, weights, scores); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("SKAT = %v, want 40", got)
+	}
+}
+
+func TestSKATNonNegative(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		n := rr.Intn(20) + 1
+		weights := make(data.Weights, n)
+		scores := make([]float64, n)
+		snps := make([]int, n)
+		for j := 0; j < n; j++ {
+			weights[j] = rr.Float64() * 3
+			scores[j] = rr.Normal() * 10
+			snps[j] = j
+		}
+		return SKAT(data.SNPSet{SNPs: snps}, weights, scores) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSKATScaleQuadraticInWeights(t *testing.T) {
+	set := data.SNPSet{SNPs: []int{0, 1}}
+	scores := []float64{2, -3}
+	base := SKAT(set, data.Weights{1, 1}, scores)
+	doubled := SKAT(set, data.Weights{2, 2}, scores)
+	if math.Abs(doubled-4*base) > 1e-12 {
+		t.Fatalf("doubling weights scaled SKAT by %v, want 4", doubled/base)
+	}
+}
+
+func TestSKATAll(t *testing.T) {
+	sets := data.SNPSets{{SNPs: []int{0}}, {SNPs: []int{1, 2}}}
+	weights := data.Weights{1, 1, 1}
+	scores := []float64{2, 3, 4}
+	got := SKATAll(sets, weights, scores)
+	want := []float64{4, 25}
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 1e-12 {
+			t.Fatalf("S = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCounterTally(t *testing.T) {
+	c := NewCounter([]float64{10, 5})
+	c.Add([]float64{11, 4}) // set 0 exceeds
+	c.Add([]float64{10, 5}) // ties count as exceedance (>=)
+	c.Add([]float64{9, 6})  // set 1 exceeds
+	if c.Replicates() != 3 {
+		t.Fatalf("replicates = %d", c.Replicates())
+	}
+	e := c.Exceedances()
+	if e[0] != 2 || e[1] != 2 {
+		t.Fatalf("exceedances = %v, want [2 2]", e)
+	}
+	p := c.PValues()
+	if math.Abs(p[0]-3.0/4) > 1e-12 {
+		t.Fatalf("p[0] = %v, want 0.75", p[0])
+	}
+	props := c.Proportions()
+	if math.Abs(props[0]-2.0/3) > 1e-12 {
+		t.Fatalf("proportion[0] = %v, want 2/3", props[0])
+	}
+}
+
+func TestCounterMergeEqualsSequential(t *testing.T) {
+	r := rng.New(2)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		obs := []float64{rr.Normal(), rr.Normal(), rr.Normal()}
+		reps := make([][]float64, 20)
+		for i := range reps {
+			reps[i] = []float64{rr.Normal(), rr.Normal(), rr.Normal()}
+		}
+		seq := NewCounter(obs)
+		for _, rep := range reps {
+			seq.Add(rep)
+		}
+		a := NewCounter(obs)
+		b := NewCounter(obs)
+		for i, rep := range reps {
+			if i%2 == 0 {
+				a.Add(rep)
+			} else {
+				b.Add(rep)
+			}
+		}
+		a.Merge(b)
+		if a.Replicates() != seq.Replicates() {
+			return false
+		}
+		for k := range obs {
+			if a.Exceedances()[k] != seq.Exceedances()[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterPanics(t *testing.T) {
+	c := NewCounter([]float64{1})
+	assertPanics(t, "short replicate", func() { c.Add([]float64{1, 2}) })
+	assertPanics(t, "mismatched merge", func() { c.Merge(NewCounter([]float64{1, 2})) })
+	assertPanics(t, "proportions without replicates", func() { NewCounter([]float64{1}).Proportions() })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}

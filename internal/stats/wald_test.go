@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sparkscore/internal/data"
+	"sparkscore/internal/rng"
+)
+
+// simulateCoxData draws survival data where the hazard depends on genotype
+// through the log hazard ratio beta (inverse-CDF simulation of exponential
+// survival with rate λ·e^{βg}).
+func simulateCoxData(r *rng.RNG, n int, beta float64) (*data.Phenotype, []data.Genotype) {
+	ph := data.NewPhenotype(n)
+	g := make([]data.Genotype, n)
+	for i := 0; i < n; i++ {
+		g[i] = data.Genotype(r.Binomial(2, 0.3))
+		rate := math.Exp(beta*float64(g[i])) / 12
+		ph.Y[i] = r.Exponential(rate)
+		if r.Bernoulli(0.85) {
+			ph.Event[i] = 1
+		}
+	}
+	return ph, g
+}
+
+func TestFitCoxRecoversNullBeta(t *testing.T) {
+	r := rng.New(1)
+	ph, g := simulateCoxData(r, 2000, 0)
+	cox, err := NewCox(ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := cox.FitCox(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Beta) > 3*fit.StdErr {
+		t.Fatalf("null fit gave beta %.4f (SE %.4f)", fit.Beta, fit.StdErr)
+	}
+}
+
+func TestFitCoxRecoversEffect(t *testing.T) {
+	r := rng.New(2)
+	const trueBeta = 0.7
+	ph, g := simulateCoxData(r, 3000, trueBeta)
+	cox, err := NewCox(ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := cox.FitCox(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Beta-trueBeta) > 4*fit.StdErr {
+		t.Fatalf("beta = %.4f (SE %.4f), want ~%.2f", fit.Beta, fit.StdErr, trueBeta)
+	}
+	if fit.Wald <= 0 || fit.LRT <= 0 {
+		t.Fatalf("Wald %.2f / LRT %.2f not positive under a strong effect", fit.Wald, fit.LRT)
+	}
+}
+
+func TestScoreWaldLRTAsymptoticallyAgree(t *testing.T) {
+	// The three classical tests are asymptotically equivalent; on a large
+	// sample with a moderate effect their chi-squared statistics should be
+	// within ~15% of one another.
+	r := rng.New(3)
+	ph, g := simulateCoxData(r, 4000, 0.3)
+	cox, err := NewCox(ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreStat := Chi2Stat(Score(cox, g), cox.Variance(g))
+	fit, err := cox.FitCox(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, stat := range map[string]float64{"wald": fit.Wald, "lrt": fit.LRT} {
+		ratio := stat / scoreStat
+		if ratio < 0.85 || ratio > 1.18 {
+			t.Errorf("%s/score ratio = %.3f (score %.2f, %s %.2f)", name, ratio, scoreStat, name, stat)
+		}
+	}
+}
+
+func TestFitCoxScoreAtBetaHatIsZero(t *testing.T) {
+	r := rng.New(4)
+	ph, g := simulateCoxData(r, 500, 0.5)
+	cox, err := NewCox(ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := cox.FitCox(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, _ := cox.scoreInfo(g, fit.Beta)
+	if math.Abs(score) > 1e-6 {
+		t.Fatalf("score at beta-hat = %v, want ~0", score)
+	}
+}
+
+func TestFitCoxMonomorphicFailsToConverge(t *testing.T) {
+	r := rng.New(5)
+	ph := randomSurvival(r, 50)
+	cox, err := NewCox(ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]data.Genotype, 50) // all zero: no information about beta
+	_, err = cox.FitCox(g, 0, 0)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestFitCoxSeparatedDataDiverges(t *testing.T) {
+	// Perfect separation: carriers all die immediately, non-carriers are all
+	// censored late. The MLE is +inf; Newton must report non-convergence
+	// rather than returning garbage.
+	n := 40
+	ph := data.NewPhenotype(n)
+	g := make([]data.Genotype, n)
+	for i := 0; i < n; i++ {
+		if i < n/2 {
+			g[i] = 2
+			ph.Y[i] = 1 + float64(i)*0.01
+			ph.Event[i] = 1
+		} else {
+			g[i] = 0
+			ph.Y[i] = 100 + float64(i)
+			ph.Event[i] = 0
+		}
+	}
+	cox, err := NewCox(ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cox.FitCox(g, 15, 0); !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestPartialLogLikDecreasesAwayFromMLE(t *testing.T) {
+	r := rng.New(6)
+	ph, g := simulateCoxData(r, 800, 0.4)
+	cox, err := NewCox(ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := cox.FitCox(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atHat := cox.partialLogLik(g, fit.Beta)
+	for _, off := range []float64{-0.5, 0.5, 1.5} {
+		if ll := cox.partialLogLik(g, fit.Beta+off); ll >= atHat {
+			t.Fatalf("logLik(beta+%.1f) = %.4f >= logLik(beta-hat) = %.4f", off, ll, atHat)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package tuner
+
+import (
+	"testing"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/gen"
+)
+
+func TestGridFeasible(t *testing.T) {
+	cands := Grid(cluster.M3TwoXLarge)
+	if len(cands) < 6 {
+		t.Fatalf("grid has only %d candidates", len(cands))
+	}
+	seen := map[Candidate]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[c] = true
+		cfg := cluster.Config{
+			Nodes: 2, Spec: cluster.M3TwoXLarge,
+			ExecutorsPerNode: c.ExecutorsPerNode, CoresPerExecutor: c.CoresPerExecutor,
+			MemPerExecutorGiB: c.MemPerExecutorGiB,
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("grid produced infeasible layout %v: %v", c, err)
+		}
+	}
+}
+
+func TestGridTinyNode(t *testing.T) {
+	if cands := Grid(cluster.NodeSpec{VCPUs: 1, MemGiB: 1}); cands != nil {
+		t.Fatalf("grid on a node with no usable memory produced %v", cands)
+	}
+}
+
+func TestTuneRanksMemoryStarvedLayoutsLast(t *testing.T) {
+	ds, err := gen.Generate(gen.Config{Patients: 500, SNPs: 4000, SNPSets: 40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{
+		Dataset:    ds,
+		Iterations: 10,
+		Nodes:      2,
+		// Small blocks and scaled overheads, as when tuning a scaled
+		// stand-in for a big study.
+		DFSBlockSize:     1 << 20,
+		SchedOverheadSec: 0.0001,
+		StageOverheadSec: 0.001,
+		Seed:             3,
+	}
+	roomy := Candidate{ExecutorsPerNode: 2, CoresPerExecutor: 4, MemPerExecutorGiB: 10}
+	// U here is ~16 MB; 4 MiB executors cannot hold their share, forcing
+	// recomputation every iteration.
+	starved := Candidate{ExecutorsPerNode: 2, CoresPerExecutor: 4, MemPerExecutorGiB: 4.0 / 1024}
+	evals, err := Tune(w, []Candidate{starved, roomy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals[0].Err != nil || evals[1].Err != nil {
+		t.Fatalf("unexpected errors: %+v", evals)
+	}
+	if evals[0].Candidate != roomy {
+		t.Fatalf("best candidate %v, want the roomy layout (times %.2f vs %.2f)",
+			evals[0].Candidate, evals[0].SimSeconds, evals[1].SimSeconds)
+	}
+	if evals[1].SimSeconds < 2*evals[0].SimSeconds {
+		t.Fatalf("starved layout only %.2fx slower", evals[1].SimSeconds/evals[0].SimSeconds)
+	}
+}
+
+func TestTuneInfeasibleCandidatesSortLast(t *testing.T) {
+	ds, err := gen.Generate(gen.Config{Patients: 50, SNPs: 100, SNPSets: 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{Dataset: ds, Iterations: 1, Nodes: 1, Seed: 1}
+	ok := Candidate{ExecutorsPerNode: 2, CoresPerExecutor: 4, MemPerExecutorGiB: 8}
+	bad := Candidate{ExecutorsPerNode: 8, CoresPerExecutor: 8, MemPerExecutorGiB: 8} // 64 cores on 8 vCPUs
+	evals, err := Tune(w, []Candidate{bad, ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals[0].Candidate != ok || evals[0].Err != nil {
+		t.Fatalf("feasible candidate not ranked first: %+v", evals)
+	}
+	if evals[1].Err == nil {
+		t.Fatal("infeasible candidate scored without error")
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	ds, _ := gen.Generate(gen.Config{Patients: 10, SNPs: 10, SNPSets: 2}, 1)
+	if _, err := Tune(Workload{Dataset: nil, Nodes: 1}, Grid(cluster.M3TwoXLarge)); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := Tune(Workload{Dataset: ds, Nodes: 0}, Grid(cluster.M3TwoXLarge)); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := Tune(Workload{Dataset: ds, Nodes: 1}, nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{ExecutorsPerNode: 2, CoresPerExecutor: 3, MemPerExecutorGiB: 10}
+	if c.String() != "2/node x 3 cores x 10 GiB" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
