@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: tier1 vet build test race bench experiments
+
+# tier1 is the CI gate: vet, build, and the full test suite under the race
+# detector (the recovery layer is concurrent by construction).
+tier1: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+experiments:
+	$(GO) run ./cmd/benchtab -exp all -scale 100 -reps 2

@@ -300,8 +300,9 @@ func TestBenchmarkRegistryMatchesPaperArtifacts(t *testing.T) {
 			t.Errorf("paper artifact %s has no experiment", id)
 		}
 	}
-	if len(harness.Experiments()) != 7 {
-		t.Errorf("%d canonical experiments, want 7", len(harness.Experiments()))
+	// The paper's 7 artifacts plus the chaos (lineage recovery) experiment.
+	if len(harness.Experiments()) != 8 {
+		t.Errorf("%d canonical experiments, want 8", len(harness.Experiments()))
 	}
 	_ = fmt.Sprintf // keep fmt imported alongside future debug logging
 }

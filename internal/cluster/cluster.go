@@ -212,6 +212,37 @@ func (c *Cluster) Fail(id int) error {
 	return nil
 }
 
+// FailNode fails every live executor on the node at once (a machine loss
+// rather than a container loss), returning the ids that died. It refuses —
+// restoring nothing — if the node does not exist, has no live executors, or
+// failing it would leave the cluster without a live executor.
+func (c *Cluster) FailNode(node int) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if node < 0 || node >= c.cfg.Nodes {
+		return nil, fmt.Errorf("cluster: no node %d", node)
+	}
+	var ids []int
+	for _, e := range c.executors {
+		if e.Node == node && !c.failed[e.ID] {
+			ids = append(ids, e.ID)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("cluster: node %d has no live executors", node)
+	}
+	for _, id := range ids {
+		c.failed[id] = true
+	}
+	if c.totalSlotsLocked() == 0 {
+		for _, id := range ids {
+			c.failed[id] = false
+		}
+		return nil, fmt.Errorf("cluster: refusing to fail the last live node")
+	}
+	return ids, nil
+}
+
 // ExecutorsOnNode returns the ids of live executors running on the node.
 func (c *Cluster) ExecutorsOnNode(node int) []int {
 	c.mu.RLock()

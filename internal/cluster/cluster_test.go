@@ -187,3 +187,44 @@ func TestTotalExecutorsMemoryOnlyAdmission(t *testing.T) {
 		t.Fatalf("core-oversubscribed layout rejected: %v", err)
 	}
 }
+
+func TestFailNode(t *testing.T) {
+	c, err := New(Config{Nodes: 3, Spec: M3TwoXLarge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := len(c.ExecutorsOnNode(0))
+	if perNode == 0 {
+		t.Fatal("node 0 carries no executors")
+	}
+	ids, err := c.FailNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != perNode {
+		t.Fatalf("FailNode reported %d executors, node carried %d", len(ids), perNode)
+	}
+	for _, id := range ids {
+		if c.Live(id) {
+			t.Fatalf("executor %d still live after node loss", id)
+		}
+	}
+	// A dead node cannot die twice.
+	if _, err := c.FailNode(0); err == nil {
+		t.Fatal("re-failing a dead node accepted")
+	}
+	if _, err := c.FailNode(99); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	// Killing every remaining node would leave no compute: the last one is
+	// refused and stays intact.
+	if _, err := c.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FailNode(2); err == nil {
+		t.Fatal("failing the last live node accepted")
+	}
+	if len(c.LiveExecutors()) == 0 {
+		t.Fatal("refused node loss still killed executors")
+	}
+}

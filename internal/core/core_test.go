@@ -724,3 +724,46 @@ func TestDiskSpillDoesNotChangeResults(t *testing.T) {
 		}
 	}
 }
+
+func TestMonteCarloResultsUnchangedUnderFaults(t *testing.T) {
+	// The lineage-recovery claim, end to end: crashing tasks, losing shuffle
+	// fetches, and killing a whole machine mid-analysis must not change a
+	// single number of the inference.
+	ds := testDataset(t, 20, 40, 4, 7)
+	run := func(faults rdd.FaultProfile) (*Result, rdd.RecoveryStats) {
+		ctx, err := rdd.New(rdd.Config{
+			Cluster:      cluster.Config{Nodes: 3, Spec: cluster.M3TwoXLarge},
+			DFSBlockSize: 4 << 10,
+			Seed:         11,
+			Faults:       faults,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := stagedAnalysis(t, ctx, ds, Options{Seed: 11})
+		res, err := a.MonteCarlo(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rdd.SummarizeRecovery(ctx.Jobs())
+	}
+	clean, cleanRec := run(rdd.FaultProfile{})
+	chaos, chaosRec := run(rdd.FaultProfile{
+		TaskCrashProb:    0.25,
+		FetchFailureProb: 0.15,
+		NodeLoss:         []rdd.NodeLoss{{Node: 0, AfterTasks: 8}},
+	})
+	if cleanRec.TaskRetries != 0 || cleanRec.StageAttempts != 0 {
+		t.Fatalf("fault-free run recorded recovery work: %+v", cleanRec)
+	}
+	if chaosRec.TaskRetries == 0 && chaosRec.StageAttempts == 0 {
+		t.Fatalf("chaos profile injected nothing: %+v", chaosRec)
+	}
+	assertClose(t, "observed", chaos.Observed, clean.Observed, 1e-9)
+	for k := range clean.Exceed {
+		if clean.Exceed[k] != chaos.Exceed[k] {
+			t.Fatalf("faults changed exceedances at set %d: %d != %d",
+				k, chaos.Exceed[k], clean.Exceed[k])
+		}
+	}
+}

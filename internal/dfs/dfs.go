@@ -12,6 +12,7 @@ package dfs
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"sparkscore/internal/rng"
 )
@@ -33,13 +34,17 @@ type File struct {
 	Size   int64
 }
 
-// FS is the namespace of one simulated HDFS instance.
+// FS is the namespace of one simulated HDFS instance. It is safe for
+// concurrent use: running tasks read block locations while node failures
+// rewrite them.
 type FS struct {
 	blockSize   int
 	replication int
 	nodes       int
-	files       map[string]*File
-	r           *rng.RNG
+
+	mu    sync.RWMutex
+	files map[string]*File
+	r     *rng.RNG
 }
 
 // New creates a file system spanning the given number of storage nodes.
@@ -83,6 +88,8 @@ func (fs *FS) Write(name string, data []byte) (*File, error) {
 	if name == "" {
 		return nil, fmt.Errorf("dfs: empty file name")
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	f := &File{Name: name, Size: int64(len(data))}
 	for off := 0; off < len(data); {
 		end := off + fs.blockSize
@@ -123,6 +130,8 @@ func (fs *FS) placeReplicas() []int {
 
 // Open returns the named file.
 func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	f, ok := fs.files[name]
 	if !ok {
 		return nil, fmt.Errorf("dfs: no such file %q", name)
@@ -132,17 +141,52 @@ func (fs *FS) Open(name string) (*File, error) {
 
 // Exists reports whether the named file exists.
 func (fs *FS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	_, ok := fs.files[name]
 	return ok
 }
 
 // Delete removes the named file.
 func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	if _, ok := fs.files[name]; !ok {
 		return fmt.Errorf("dfs: no such file %q", name)
 	}
 	delete(fs.files, name)
 	return nil
+}
+
+// BlockLocations returns the node ids currently holding replicas of the
+// file's block. Use this rather than reading Block.Locations directly when
+// tasks may race with node failures: the returned slice is immutable
+// (DropNode swaps in fresh slices, never edits in place).
+func (fs *FS) BlockLocations(f *File, block int) []int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return f.Blocks[block].Locations
+}
+
+// DropNode removes the node from every block's replica set, as when a
+// machine holding HDFS replicas is lost. Block contents survive (the
+// simulation keeps them in host memory, standing in for HDFS re-replication
+// from surviving copies), but locality is gone: a block with no remaining
+// replica is remote to every reader.
+func (fs *FS) DropNode(node int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.files {
+		for i, blk := range f.Blocks {
+			keep := make([]int, 0, len(blk.Locations))
+			for _, n := range blk.Locations {
+				if n != node {
+					keep = append(keep, n)
+				}
+			}
+			f.Blocks[i].Locations = keep
+		}
+	}
 }
 
 // ReadAll concatenates all blocks of the named file.
@@ -160,6 +204,8 @@ func (fs *FS) ReadAll(name string) ([]byte, error) {
 
 // List returns the names of all files.
 func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	names := make([]string, 0, len(fs.files))
 	for n := range fs.files {
 		names = append(names, n)

@@ -190,3 +190,79 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDropNodeRemovesReplicas(t *testing.T) {
+	fs, err := New(4, 32, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&sb, "line-%03d\n", i)
+	}
+	content := []byte(sb.String())
+	f, err := fs.Write("f", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hadOnNode0 := false
+	for b := range f.Blocks {
+		for _, n := range fs.BlockLocations(f, b) {
+			if n == 0 {
+				hadOnNode0 = true
+			}
+		}
+	}
+	if !hadOnNode0 {
+		t.Fatal("replica placement never used node 0; test needs a different seed")
+	}
+	fs.DropNode(0)
+	for b := range f.Blocks {
+		for _, n := range fs.BlockLocations(f, b) {
+			if n == 0 {
+				t.Fatalf("block %d still lists dropped node 0", b)
+			}
+		}
+	}
+	// Contents survive (HDFS re-replicates from surviving copies).
+	got, err := fs.ReadAll("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("file contents changed after DropNode")
+	}
+}
+
+func TestBlockLocationsSafeUnderConcurrentDrop(t *testing.T) {
+	fs, err := New(6, 64, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, "line-%04d\n", i)
+	}
+	f, err := fs.Write("f", []byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 0; n < 5; n++ {
+			fs.DropNode(n)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		for b := range f.Blocks {
+			locs := fs.BlockLocations(f, b)
+			for _, n := range locs {
+				if n < 0 || n >= 6 {
+					t.Fatalf("corrupt location %d", n)
+				}
+			}
+		}
+	}
+	<-done
+}

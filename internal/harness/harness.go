@@ -15,6 +15,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"sparkscore/internal/cluster"
 	"sparkscore/internal/core"
@@ -128,9 +129,20 @@ func (h *Harness) dataset(p Params) (*data.Dataset, error) {
 // the analysis (input staging excluded, as the paper's timings start at job
 // submission).
 func (h *Harness) Measure(p Params) (float64, error) {
-	ds, err := h.dataset(p)
+	ctx, _, err := h.run(p, rdd.FaultProfile{})
 	if err != nil {
 		return 0, err
+	}
+	return ctx.VirtualTime(), nil
+}
+
+// run executes one configuration under the given fault profile and returns
+// the driver context (for clocks and recovery accounting) plus the inference
+// result.
+func (h *Harness) run(p Params, faults rdd.FaultProfile) (*rdd.Context, *core.Result, error) {
+	ds, err := h.dataset(p)
+	if err != nil {
+		return nil, nil, err
 	}
 	scale := float64(h.scale())
 	ctx, err := rdd.New(rdd.Config{
@@ -149,13 +161,14 @@ func (h *Harness) Measure(p Params) (float64, error) {
 		SchedOverheadSec: 0.004 / scale,
 		StageOverheadSec: 0.05 / scale,
 		Seed:             h.Seed,
+		Faults:           faults,
 	})
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	paths, err := core.StageDataset(ctx, ds, "bench")
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	opts := core.Options{Seed: h.Seed, DiskSpill: p.DiskSpill}
 	if !p.Cache {
@@ -163,21 +176,84 @@ func (h *Harness) Measure(p Params) (float64, error) {
 	}
 	a, err := core.NewAnalysis(ctx, paths, opts)
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	ctx.ResetClock()
+	var res *core.Result
 	switch p.Method {
 	case "mc":
-		_, err = a.MonteCarlo(p.Iterations)
+		res, err = a.MonteCarlo(p.Iterations)
 	case "perm":
-		_, err = a.Permutation(p.Iterations)
+		res, err = a.Permutation(p.Iterations)
 	default:
-		return 0, fmt.Errorf("harness: unknown method %q", p.Method)
+		return nil, nil, fmt.Errorf("harness: unknown method %q", p.Method)
 	}
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
-	return ctx.VirtualTime(), nil
+	return ctx, res, nil
+}
+
+// RecoveryResult is one chaos measurement: the same configuration run
+// fault-free and under a fault profile, with the recovery accounting and a
+// result comparison (the paper's lineage-recovery claim: failures cost time,
+// never correctness).
+type RecoveryResult struct {
+	CleanSeconds float64 // fault-free simulated runtime
+	ChaosSeconds float64 // simulated runtime under the fault profile
+	Stats        rdd.RecoveryStats
+	ResultsMatch bool   // chaos inference numerically identical to fault-free
+	Fingerprint  string // reproducible job fingerprint of the chaos run
+}
+
+// MeasureRecovery runs one configuration fault-free and then under the fault
+// profile, comparing inference results and collecting recovery accounting.
+func (h *Harness) MeasureRecovery(p Params, faults rdd.FaultProfile) (RecoveryResult, error) {
+	cleanCtx, cleanRes, err := h.run(p, rdd.FaultProfile{})
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	chaosCtx, chaosRes, err := h.run(p, faults)
+	if err != nil {
+		return RecoveryResult{}, fmt.Errorf("harness: chaos run: %w", err)
+	}
+	jobs := chaosCtx.Jobs()
+	var fp strings.Builder
+	for _, m := range jobs {
+		fmt.Fprintf(&fp, "%+v\n", m.WithoutMeasuredTime())
+	}
+	return RecoveryResult{
+		CleanSeconds: cleanCtx.VirtualTime(),
+		ChaosSeconds: chaosCtx.VirtualTime(),
+		Stats:        rdd.SummarizeRecovery(jobs),
+		ResultsMatch: resultsEqual(cleanRes, chaosRes),
+		Fingerprint:  fp.String(),
+	}, nil
+}
+
+// resultsEqual compares two inference results bit for bit: observed
+// statistics, exceedance counters, and p-values.
+func resultsEqual(a, b *core.Result) bool {
+	if len(a.Observed) != len(b.Observed) || len(a.Exceed) != len(b.Exceed) ||
+		len(a.PValues) != len(b.PValues) || a.Iterations != b.Iterations {
+		return false
+	}
+	for i := range a.Observed {
+		if a.Observed[i] != b.Observed[i] {
+			return false
+		}
+	}
+	for i := range a.Exceed {
+		if a.Exceed[i] != b.Exceed[i] {
+			return false
+		}
+	}
+	for i := range a.PValues {
+		if a.PValues[i] != b.PValues[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // sweep measures the configuration at each iteration count, Reps times,

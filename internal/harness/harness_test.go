@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"sparkscore/internal/rdd"
 )
 
 // tiny returns a harness whose scale makes every experiment near-trivial, so
@@ -283,5 +285,56 @@ func TestDiskSpillCuresStrongScalingCollapse(t *testing.T) {
 	}
 	if memAndDisk >= memOnly/2 {
 		t.Fatalf("MEMORY_AND_DISK %.2f sim-s not clearly better than MEMORY_ONLY %.2f", memAndDisk, memOnly)
+	}
+}
+
+func TestMeasureRecovery(t *testing.T) {
+	h := tiny()
+	p := tunedContainers(Params{
+		Patients: 50, SNPs: 100000, SNPSets: 10, Nodes: 3,
+		Method: "mc", Cache: true, Iterations: 2,
+	})
+	faults := rdd.FaultProfile{
+		TaskCrashProb:    0.2,
+		FetchFailureProb: 0.1,
+		NodeLoss:         []rdd.NodeLoss{{Node: 0, AfterTasks: 5}},
+	}
+	r, err := h.MeasureRecovery(p, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ResultsMatch {
+		t.Fatal("chaos run changed the inference results")
+	}
+	if r.Stats.TaskRetries == 0 && r.Stats.StageAttempts == 0 {
+		t.Fatalf("chaos run recorded no recovery work: %+v", r.Stats)
+	}
+	if r.Stats.RecoverySeconds <= 0 {
+		t.Fatalf("no recovery time charged: %+v", r.Stats)
+	}
+	again, err := h.MeasureRecovery(p, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fingerprint != again.Fingerprint {
+		t.Fatal("identical seed and profile produced different recovery traces")
+	}
+}
+
+func TestChaosExperimentRuns(t *testing.T) {
+	h := tiny()
+	e, ok := Lookup("chaos")
+	if !ok {
+		t.Fatal("chaos experiment not registered")
+	}
+	var sb strings.Builder
+	if err := e.Run(h, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"task retries", "recovery share", "results identical to fault-free  true", "replay reproducible (same seed)  true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out)
+		}
 	}
 }

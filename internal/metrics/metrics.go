@@ -168,6 +168,24 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
+// FormatPercent renders a fraction (0.125 → "12.5%") with a precision that
+// keeps small recovery overheads visible without drowning larger ones in
+// digits.
+func FormatPercent(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "N/A"
+	case v == 0:
+		return "0%"
+	case math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3f%%", v*100)
+	case math.Abs(v) < 0.1:
+		return fmt.Sprintf("%.2f%%", v*100)
+	default:
+		return fmt.Sprintf("%.1f%%", v*100)
+	}
+}
+
 // FormatSeconds renders a duration in seconds with a precision that keeps
 // both sub-second and multi-thousand-second values readable.
 func FormatSeconds(v float64) string {

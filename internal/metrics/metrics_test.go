@@ -120,3 +120,21 @@ func TestFormatSeconds(t *testing.T) {
 		t.Errorf("NaN -> %q", got)
 	}
 }
+
+func TestFormatPercent(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0%",
+		0.0005: "0.050%",
+		0.042:  "4.20%",
+		0.125:  "12.5%",
+		1.5:    "150.0%",
+	}
+	for in, want := range cases {
+		if got := FormatPercent(in); got != want {
+			t.Errorf("FormatPercent(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatPercent(math.NaN()); got != "N/A" {
+		t.Errorf("NaN -> %q", got)
+	}
+}

@@ -15,6 +15,7 @@ package rdd
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"sparkscore/internal/cluster"
@@ -68,6 +69,29 @@ type Config struct {
 	// (cached block holders, HDFS replica nodes). It exists for the ablation
 	// benchmark quantifying what locality-aware scheduling buys.
 	DisableLocality bool
+
+	// TaskMaxFailures is the number of times one task may fail before the
+	// job aborts with a TaskAbortedError — Spark's task.maxFailures. Zero
+	// selects the Spark default of 4; failed attempts are retried on a
+	// freshly chosen executor.
+	TaskMaxFailures int
+
+	// MaxStageAttempts bounds how many times a map stage may run (initial
+	// attempt plus resubmissions after fetch failures) before the job
+	// aborts with a StageAbortedError. Zero selects 4, Spark's
+	// spark.stage.maxConsecutiveAttempts.
+	MaxStageAttempts int
+
+	// ExcludeAfterFailures is the number of task failures on one executor
+	// after which that executor is excluded from further scheduling
+	// (Spark's blacklisting). Zero selects 2; negative disables exclusion.
+	// The last schedulable executor is never excluded.
+	ExcludeAfterFailures int
+
+	// Faults configures deterministic fault injection; the zero value
+	// injects nothing. Every decision derives from Seed, so chaos runs
+	// replay bit-for-bit.
+	Faults FaultProfile
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +122,15 @@ func (c Config) withDefaults() Config {
 	if c.StorageFraction == 0 {
 		c.StorageFraction = 0.6
 	}
+	if c.TaskMaxFailures == 0 {
+		c.TaskMaxFailures = 4
+	}
+	if c.MaxStageAttempts == 0 {
+		c.MaxStageAttempts = 4
+	}
+	if c.ExcludeAfterFailures == 0 {
+		c.ExcludeAfterFailures = 2
+	}
 	return c
 }
 
@@ -113,21 +146,35 @@ type Context struct {
 	shuffle *shuffleManager
 	r       *rng.RNG
 
+	// faults is the dedicated fault-injection stream; it is split per
+	// decision point and never advanced, so draws are order-insensitive.
+	faults *rng.RNG
+
 	mu            sync.Mutex
 	clock         float64
 	nextNodeID    int
 	nextShuffleID int
+	nextJobID     uint64
 	pendingBcast  int64 // broadcast bytes not yet charged to a job
 	jobs          []JobMetrics
 
 	tasksDone int64 // lifetime completed tasks, drives failure plans
-	failPlan  *failurePlan
+	failPlans []*failurePlan
+
+	// execFailures counts task failures per executor; crossing
+	// ExcludeAfterFailures moves the executor into excluded.
+	execFailures map[int]int
+	excluded     map[int]bool
 
 	workers chan struct{} // host-side execution semaphore
 }
 
+// failurePlan is one scheduled failure: an executor loss (node < 0) or a
+// whole-node loss, fired once the lifetime completed-task count reaches
+// afterTasks.
 type failurePlan struct {
 	executor   int
+	node       int // -1 for executor plans
 	afterTasks int64
 	fired      bool
 }
@@ -144,14 +191,20 @@ func New(cfg Config) (*Context, error) {
 		return nil, err
 	}
 	ctx := &Context{
-		cfg:     cfg,
-		cluster: cl,
-		fs:      fs,
-		shuffle: newShuffleManager(),
-		r:       rng.New(cfg.Seed ^ 0xc7a5),
-		workers: make(chan struct{}, cfg.Workers),
+		cfg:          cfg,
+		cluster:      cl,
+		fs:           fs,
+		shuffle:      newShuffleManager(),
+		r:            rng.New(cfg.Seed ^ 0xc7a5),
+		faults:       rng.New(cfg.Seed ^ 0xfa17),
+		execFailures: map[int]int{},
+		excluded:     map[int]bool{},
+		workers:      make(chan struct{}, cfg.Workers),
 	}
 	ctx.blocks = newBlockManager(cl, cfg.StorageFraction)
+	for _, nl := range cfg.Faults.NodeLoss {
+		ctx.FailNodeAfter(nl.Node, nl.AfterTasks)
+	}
 	return ctx, nil
 }
 
@@ -196,13 +249,56 @@ func (c *Context) FailExecutor(id int) error {
 	return nil
 }
 
+// FailNode kills a whole machine: every executor on it dies with its cached
+// blocks, the node's shuffle outputs are destroyed (unlike an executor loss,
+// a machine loss takes the external shuffle service down with it), and the
+// node's DFS replicas disappear. Jobs recover by re-placing tasks,
+// recomputing lost cache from lineage, and resubmitting map stages whose
+// outputs are gone.
+func (c *Context) FailNode(node int) error {
+	ids, err := c.cluster.FailNode(node)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		c.blocks.dropExecutor(id)
+	}
+	c.shuffle.dropNode(node)
+	c.fs.DropNode(node)
+	return nil
+}
+
 // FailExecutorAfter arranges for the executor to fail once the given number
 // of further tasks have completed, injecting a failure in the middle of a
-// running job.
+// running job. Plans queue: repeated calls script cascading failures.
 func (c *Context) FailExecutorAfter(id int, tasks int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.failPlan = &failurePlan{executor: id, afterTasks: c.tasksDone + tasks}
+	c.failPlans = append(c.failPlans, &failurePlan{executor: id, node: -1, afterTasks: c.tasksDone + tasks})
+}
+
+// FailNodeAfter arranges for the whole node to fail (FailNode) once the
+// given number of further tasks have completed. Plans queue like
+// FailExecutorAfter's.
+func (c *Context) FailNodeAfter(node int, tasks int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failPlans = append(c.failPlans, &failurePlan{executor: -1, node: node, afterTasks: c.tasksDone + tasks})
+}
+
+// ExcludedExecutors returns the ids of executors currently excluded from
+// scheduling after repeated task failures, in id order.
+func (c *Context) ExcludedExecutors() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for id, ex := range c.excluded {
+		if ex {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // CachedBytes reports the total bytes currently cached across live executors.
@@ -220,6 +316,13 @@ func (c *Context) newShuffleID() int {
 	defer c.mu.Unlock()
 	c.nextShuffleID++
 	return c.nextShuffleID
+}
+
+func (c *Context) newJobID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextJobID++
+	return c.nextJobID
 }
 
 // Broadcast ships a read-only value to every executor once, as with Spark

@@ -24,11 +24,69 @@ type JobMetrics struct {
 	ShuffleBytes   int64
 	CacheReadBytes int64
 	Evictions      int64
+
+	// Recovery accounting: what failure handling cost this job.
+	TaskRetries          int // task attempts beyond each task's first
+	StageAttempts        int // map-stage resubmissions after fetch failures
+	RecomputedPartitions int // map partitions re-executed by resubmissions
+	// RecoverySeconds is the virtual time spent on recovery work: failed
+	// attempts, task retries, and every task of a resubmitted stage or a
+	// re-run result wave. It is a subset of the work folded into
+	// VirtualSeconds, reported so chaos runs can state recovery overhead
+	// as a fraction of fault-free time.
+	RecoverySeconds float64
 }
 
 // String renders a one-line summary.
 func (m JobMetrics) String() string {
-	return fmt.Sprintf("%s(%s): %d stages, %d tasks, %.3f sim-s, %.3f cpu-s, dfs=%dB shuffle=%dB cache=%dB",
+	s := fmt.Sprintf("%s(%s): %d stages, %d tasks, %.3f sim-s, %.3f cpu-s, dfs=%dB shuffle=%dB cache=%dB",
 		m.Action, m.RDD, m.Stages, m.Tasks, m.VirtualSeconds, m.ComputeSeconds,
 		m.DFSBytes, m.ShuffleBytes, m.CacheReadBytes)
+	if m.TaskRetries > 0 || m.StageAttempts > 0 {
+		s += fmt.Sprintf(" [recovery: %d retries, %d stage re-attempts, %d recomputed parts, %.3f sim-s]",
+			m.TaskRetries, m.StageAttempts, m.RecomputedPartitions, m.RecoverySeconds)
+	}
+	return s
+}
+
+// WithoutMeasuredTime returns a copy with every field derived from measured
+// host compute time zeroed (VirtualSeconds, ComputeSeconds,
+// RecoverySeconds). Everything that remains — stage/task/retry counts and
+// byte counters — is bit-for-bit reproducible for a given Config (Seed and
+// FaultProfile included), which is what chaos tests compare across runs.
+func (m JobMetrics) WithoutMeasuredTime() JobMetrics {
+	m.VirtualSeconds, m.ComputeSeconds, m.RecoverySeconds = 0, 0, 0
+	return m
+}
+
+// RecoveryStats aggregates recovery accounting across jobs.
+type RecoveryStats struct {
+	TaskRetries          int
+	StageAttempts        int
+	RecomputedPartitions int
+	RecoverySeconds      float64
+	VirtualSeconds       float64
+}
+
+// SummarizeRecovery folds the recovery counters of a job list (Context.Jobs)
+// into one RecoveryStats.
+func SummarizeRecovery(jobs []JobMetrics) RecoveryStats {
+	var s RecoveryStats
+	for _, m := range jobs {
+		s.TaskRetries += m.TaskRetries
+		s.StageAttempts += m.StageAttempts
+		s.RecomputedPartitions += m.RecomputedPartitions
+		s.RecoverySeconds += m.RecoverySeconds
+		s.VirtualSeconds += m.VirtualSeconds
+	}
+	return s
+}
+
+// Overhead is the share of virtual time spent on recovery work; 0 for a
+// fault-free run.
+func (s RecoveryStats) Overhead() float64 {
+	if s.VirtualSeconds <= 0 {
+		return 0
+	}
+	return s.RecoverySeconds / s.VirtualSeconds
 }

@@ -139,10 +139,19 @@ func (n *node) stageShuffleDeps() []*shuffleDep {
 }
 
 // taskContext carries the executing executor and accumulates the cost
-// drivers of one task; the scheduler converts them to virtual seconds.
+// drivers of one task; the scheduler converts them to virtual seconds. The
+// identity fields (job, stage, round, part, attempt) name the decision point
+// for deterministic fault injection: they, not scheduling order, decide
+// whether a fault fires.
 type taskContext struct {
 	ctx      *Context
 	executor int
+
+	job     uint64 // job sequence number within the context
+	stage   uint64 // shuffle id for map stages, 0 for the result stage
+	round   int    // DAG attempt (0 = first submission, +1 per resubmission)
+	part    int    // partition the task computes
+	attempt int    // task attempt within the stage, 1-based
 
 	dfsLocalBytes      int64
 	dfsRemoteBytes     int64

@@ -135,7 +135,7 @@ func (c *Context) TextFile(name string, minPartitions int) (*RDD[string], error)
 		}
 	}
 	n := c.newNode(fmt.Sprintf("textFile(%s)", name), len(splits), countOf[string])
-	n.prefNodes = func(p int) []int { return f.Blocks[splits[p].block].Locations }
+	n.prefNodes = func(p int) []int { return c.fs.BlockLocations(f, splits[p].block) }
 	n.compute = func(tc *taskContext, p int) any {
 		sp := splits[p]
 		data := f.Blocks[sp.block].Data
@@ -145,7 +145,7 @@ func (c *Context) TextFile(name string, minPartitions int) (*RDD[string], error)
 			return []string{}
 		}
 		local := false
-		for _, nd := range f.Blocks[sp.block].Locations {
+		for _, nd := range tc.ctx.fs.BlockLocations(f, sp.block) {
 			if nd == tc.node() {
 				local = true
 				break

@@ -1,0 +1,369 @@
+// Tests for the recovery layer: task retries, executor exclusion, map-stage
+// resubmission after shuffle-output loss, failure plans, and deterministic
+// fault injection.
+
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sparkscore/internal/cluster"
+)
+
+// shuffledSum builds the canonical two-stage workload: 64 input elements in 8
+// map partitions, reduced by key into 8 partitions.
+func shuffledSum(c *Context) *RDD[KV[int, int]] {
+	in := make([]KV[int, int], 64)
+	for i := range in {
+		in[i] = KV[int, int]{K: i % 16, V: i}
+	}
+	return ReduceByKey(Parallelize(c, in, 8), func(a, b int) int { return a + b }, 8)
+}
+
+func wantShuffledSum() map[int]int {
+	want := map[int]int{}
+	for i := 0; i < 64; i++ {
+		want[i%16] += i
+	}
+	return want
+}
+
+func TestNodeLossResubmitsMapStage(t *testing.T) {
+	c := newTestContext(t, 4)
+	r := shuffledSum(c)
+	want, err := CollectAsMap(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Losing a whole machine destroys its shuffle outputs (the external
+	// shuffle service dies with it), unlike a bare executor loss.
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := CollectAsMap(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("post-recovery result differs at key %d: %d != %d", k, got[k], v)
+		}
+	}
+
+	jobs := c.Jobs()
+	m := jobs[len(jobs)-1]
+	if m.StageAttempts == 0 {
+		t.Fatalf("no stage re-attempt recorded after losing map outputs: %+v", m)
+	}
+	if m.RecomputedPartitions == 0 {
+		t.Fatalf("no recomputed partitions recorded: %+v", m)
+	}
+	if m.Stages < 2 {
+		t.Fatalf("resubmission should add a map stage, got %d stages", m.Stages)
+	}
+	if m.RecoverySeconds <= 0 {
+		t.Fatalf("recovery virtual time not charged: %+v", m)
+	}
+}
+
+func TestMidJobNodeLossRecovers(t *testing.T) {
+	c := newTestContext(t, 4)
+	c.FailNodeAfter(0, 5)
+	got, err := CollectAsMap(shuffledSum(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range wantShuffledSum() {
+		if got[k] != v {
+			t.Fatalf("result differs at key %d: %d != %d", k, got[k], v)
+		}
+	}
+	for _, id := range c.Cluster().ExecutorsOnNode(0) {
+		if c.Cluster().Live(id) {
+			t.Fatal("node-loss plan did not fire")
+		}
+	}
+	jobs := c.Jobs()
+	m := jobs[len(jobs)-1]
+	if m.StageAttempts == 0 && m.TaskRetries == 0 {
+		t.Fatalf("mid-job node loss left no recovery trace: %+v", m)
+	}
+}
+
+func TestTaskRetrySucceeds(t *testing.T) {
+	c := newTestContext(t, 2)
+	var mu sync.Mutex
+	attempts := 0
+	r := Map(Parallelize(c, seq(8), 8), "flaky", func(x int) int {
+		if x == 3 {
+			mu.Lock()
+			attempts++
+			n := attempts
+			mu.Unlock()
+			if n <= 2 {
+				panic(fmt.Sprintf("transient failure %d", n))
+			}
+		}
+		return x * 10
+	})
+	got, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	jobs := c.Jobs()
+	if retries := jobs[len(jobs)-1].TaskRetries; retries != 2 {
+		t.Fatalf("TaskRetries = %d, want 2", retries)
+	}
+}
+
+func TestTaskRetryExhaustionAborts(t *testing.T) {
+	c := newTestContext(t, 2)
+	r := Map(Parallelize(c, seq(8), 8), "doomed", func(x int) int {
+		if x == 5 {
+			panic("permanent failure")
+		}
+		return x
+	})
+	_, err := Collect(r)
+	if err == nil {
+		t.Fatal("job with a permanently failing task did not abort")
+	}
+	var ta *TaskAbortedError
+	if !errors.As(err, &ta) {
+		t.Fatalf("error is %T (%v), want *TaskAbortedError", err, err)
+	}
+	if ta.Attempts != 4 {
+		t.Fatalf("aborted after %d attempts, want the default task.maxFailures of 4", ta.Attempts)
+	}
+	if ta.Part != 5 {
+		t.Fatalf("aborted partition %d, want 5", ta.Part)
+	}
+}
+
+func TestExecutorExclusionAfterFailures(t *testing.T) {
+	c, err := New(Config{
+		Cluster:              cluster.Config{Nodes: 2, Spec: cluster.M3TwoXLarge},
+		Seed:                 7,
+		ExcludeAfterFailures: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	attempts := 0
+	r := Map(Parallelize(c, seq(8), 8), "flaky", func(x int) int {
+		if x == 3 {
+			mu.Lock()
+			attempts++
+			n := attempts
+			mu.Unlock()
+			if n <= 2 {
+				panic(fmt.Sprintf("transient failure %d", n))
+			}
+		}
+		return x
+	})
+	if _, err := Collect(r); err != nil {
+		t.Fatal(err)
+	}
+	// Each of the two failed attempts ran on some executor; with a threshold
+	// of 1 both hosts are excluded from further scheduling.
+	excluded := c.ExcludedExecutors()
+	if len(excluded) != 2 {
+		t.Fatalf("excluded executors = %v, want 2 entries", excluded)
+	}
+	for _, id := range excluded {
+		if !c.Cluster().Live(id) {
+			t.Fatalf("excluded executor %d is dead; exclusion is for live flaky hosts", id)
+		}
+	}
+}
+
+func TestMultipleFailurePlansQueue(t *testing.T) {
+	c := newTestContext(t, 3)
+	c.FailExecutorAfter(0, 5)
+	c.FailExecutorAfter(1, 10)
+	got, err := Collect(Map(Parallelize(c, seq(200), 50), "x2", func(x int) int { return 2 * x }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 2*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	if c.Cluster().Live(0) || c.Cluster().Live(1) {
+		t.Fatalf("queued failure plans did not both fire (live: 0=%v 1=%v)",
+			c.Cluster().Live(0), c.Cluster().Live(1))
+	}
+}
+
+// chaosRun executes the canonical workload under a fault profile and returns
+// the result plus the reproducible job fingerprints.
+func chaosRun(t *testing.T, faults FaultProfile) (map[int]int, string) {
+	t.Helper()
+	c, err := New(Config{
+		Cluster: cluster.Config{Nodes: 4, Spec: cluster.M3TwoXLarge},
+		Seed:    7,
+		Faults:  faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CollectAsMap(shuffledSum(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fp string
+	for _, m := range c.Jobs() {
+		fp += fmt.Sprintf("%+v\n", m.WithoutMeasuredTime())
+	}
+	return out, fp
+}
+
+func TestFaultInjectionDeterministic(t *testing.T) {
+	faults := FaultProfile{TaskCrashProb: 0.15, FetchFailureProb: 0.1, StragglerProb: 0.1}
+	out1, fp1 := chaosRun(t, faults)
+	out2, fp2 := chaosRun(t, faults)
+
+	for k, v := range wantShuffledSum() {
+		if out1[k] != v {
+			t.Fatalf("chaos result differs from truth at key %d: %d != %d", k, out1[k], v)
+		}
+		if out2[k] != v {
+			t.Fatalf("second chaos result differs from truth at key %d", k)
+		}
+	}
+	if fp1 != fp2 {
+		t.Fatalf("identical Seed+FaultProfile produced different job fingerprints:\n--- run 1 ---\n%s--- run 2 ---\n%s", fp1, fp2)
+	}
+	// The profile is aggressive enough that a run without any recovery work
+	// means injection silently stopped firing.
+	_, clean := chaosRun(t, FaultProfile{})
+	if fp1 == clean {
+		t.Fatal("chaos fingerprint identical to fault-free fingerprint; no faults injected")
+	}
+}
+
+func TestInjectedFetchFailureRecovers(t *testing.T) {
+	c, err := New(Config{
+		Cluster: cluster.Config{Nodes: 2, Spec: cluster.M3TwoXLarge},
+		Seed:    7,
+		Faults:  FaultProfile{FetchFailureProb: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectAsMap(shuffledSum(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range wantShuffledSum() {
+		if got[k] != v {
+			t.Fatalf("result differs at key %d: %d != %d", k, got[k], v)
+		}
+	}
+	jobs := c.Jobs()
+	m := jobs[len(jobs)-1]
+	if m.StageAttempts == 0 {
+		t.Fatalf("50%% fetch-failure probability produced no stage re-attempts: %+v", m)
+	}
+}
+
+func TestStageAttemptExhaustionAborts(t *testing.T) {
+	c, err := New(Config{
+		Cluster:          cluster.Config{Nodes: 2, Spec: cluster.M3TwoXLarge},
+		Seed:             7,
+		MaxStageAttempts: 2,
+		Faults:           FaultProfile{FetchFailureProb: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CollectAsMap(shuffledSum(c))
+	if err == nil {
+		t.Fatal("certain fetch failure on every attempt did not abort the job")
+	}
+	var sa *StageAbortedError
+	if !errors.As(err, &sa) {
+		t.Fatalf("error is %T (%v), want *StageAbortedError", err, err)
+	}
+	if sa.Attempts != 2 {
+		t.Fatalf("aborted after %d stage attempts, want MaxStageAttempts=2", sa.Attempts)
+	}
+}
+
+func TestStragglerSlowsVirtualTime(t *testing.T) {
+	run := func(faults FaultProfile) float64 {
+		c, err := New(Config{
+			Cluster: cluster.Config{Nodes: 2, Spec: cluster.M3TwoXLarge},
+			Seed:    7,
+			// Neutralise the fixed per-stage overhead so the measured ratio
+			// reflects task durations, which stragglers stretch.
+			StageOverheadSec: 1e-9,
+			Faults:           faults,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Collect(Parallelize(c, seq(100), 20)); err != nil {
+			t.Fatal(err)
+		}
+		return c.VirtualTime()
+	}
+	clean := run(FaultProfile{})
+	slowed := run(FaultProfile{StragglerProb: 1, StragglerFactor: 8})
+	if slowed < clean*4 {
+		t.Fatalf("every-task straggler x8 raised virtual time only %.4fs -> %.4fs", clean, slowed)
+	}
+}
+
+func TestForeachNotReplayedOnStageRetry(t *testing.T) {
+	// The result stage re-runs only unvisited partitions after a fetch
+	// failure, so side-effecting actions observe each partition exactly once.
+	c, err := New(Config{
+		Cluster: cluster.Config{Nodes: 4, Spec: cluster.M3TwoXLarge},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := shuffledSum(c)
+	if _, err := Collect(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[int]int{}
+	err = Foreach(r, func(p int, in []KV[int, int]) {
+		mu.Lock()
+		for _, kv := range in {
+			seen[kv.K]++
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := c.Jobs()
+	if m := jobs[len(jobs)-1]; m.StageAttempts == 0 {
+		t.Fatalf("foreach after node loss triggered no resubmission: %+v", m)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %d visited %d times across stage re-attempts, want 1", k, n)
+		}
+	}
+}

@@ -1,18 +1,35 @@
 // The DAG scheduler. A job is split into stages at shuffle boundaries: every
 // shuffle dependency reachable from the action's RDD becomes a map stage
-// (run once, outputs retained), and the action itself is the result stage.
-// Within a stage, one task per partition executes the pipelined narrow chain.
+// (outputs retained), and the action itself is the result stage. Within a
+// stage, one task per partition executes the pipelined narrow chain.
 //
 // Tasks are placed on executors by locality preference (cached block holder,
 // then HDFS replica node, then least-loaded), run for real on the host under
 // a bounded worker pool, and have their measured compute time plus modelled
 // I/O converted into virtual seconds on the executor's core slots.
+//
+// Failure handling mirrors Spark's DAGScheduler/TaskSetManager split:
+//
+//   - A failed task attempt is retried on a freshly chosen executor, up to
+//     Config.TaskMaxFailures attempts; exhaustion aborts the job with a
+//     TaskAbortedError. Executors accumulating failures are excluded from
+//     further placement (blacklisting).
+//   - A fetch failure (missing map output) fails the stage, not the task:
+//     the parent shuffle dependency is marked not-done and the map stage is
+//     resubmitted for the missing partitions only, bounded by
+//     Config.MaxStageAttempts. Result partitions already visited are not
+//     re-run.
+//   - Recovery work — failed attempts, retries, resubmitted stages — is
+//     accounted separately in JobMetrics.RecoverySeconds.
 
 package rdd
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sparkscore/internal/simtime"
@@ -21,16 +38,19 @@ import (
 type task struct {
 	part     int
 	executor int
+	attempt  int // 1-based attempt number of the latest launch
 	run      func(tc *taskContext)
 
 	// filled after execution
 	computeSec float64
 	tc         *taskContext
+	ok         bool
 }
 
 // runJob executes the action on the final node, calling visit once per
 // partition with the materialised partition value. visit runs under the
-// driver lock (no internal synchronisation needed).
+// driver lock (no internal synchronisation needed) and is called at most
+// once per partition even across stage re-attempts.
 func (c *Context) runJob(final *node, action string, visit func(p int, v any)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -40,58 +60,94 @@ func (c *Context) runJob(final *node, action string, visit func(p int, v any)) (
 
 	jm := JobMetrics{Action: action, RDD: final.name}
 	jm.VirtualSeconds += c.chargeBroadcast()
+	job := c.newJobID()
 
-	// Run every map stage this job depends on, bottom-up.
-	done := map[int]bool{}
-	var ensure func(n *node) error
-	ensure = func(n *node) error {
-		for _, sd := range n.stageShuffleDeps() {
-			if done[sd.id] {
-				continue
-			}
-			done[sd.id] = true
-			if err := ensure(sd.parent); err != nil {
-				return err
-			}
-			sd.mu.Lock()
-			ran := sd.done
-			sd.done = true
-			sd.mu.Unlock()
-			if ran {
-				continue
-			}
-			tasks := make([]*task, 0, sd.parent.parts)
-			for p := 0; p < sd.parent.parts; p++ {
-				if c.shuffle.has(sd.id, p) {
+	resubmits := map[int]int{} // shuffle id → resubmissions so far
+	completed := make([]bool, final.parts)
+	var visitMu sync.Mutex
+
+	// One DAG attempt: run every not-yet-done map stage bottom-up, then the
+	// result tasks for partitions not yet visited. A fetch failure ends the
+	// attempt early; the loop below reacts by resubmitting the map stage
+	// that lost its outputs.
+	attempt := func(round int) error {
+		seen := map[int]bool{}
+		var ensure func(n *node) error
+		ensure = func(n *node) error {
+			for _, sd := range n.stageShuffleDeps() {
+				if seen[sd.id] {
 					continue
 				}
-				p := p
-				tasks = append(tasks, &task{part: p, run: func(tc *taskContext) { sd.runMap(tc, p) }})
+				seen[sd.id] = true
+				if sd.isDone() {
+					continue
+				}
+				if err := ensure(sd.parent); err != nil {
+					return err
+				}
+				tasks := make([]*task, 0, sd.parent.parts)
+				for p := 0; p < sd.parent.parts; p++ {
+					if c.shuffle.has(sd.id, p) {
+						continue
+					}
+					p, sd := p, sd
+					tasks = append(tasks, &task{part: p, run: func(tc *taskContext) { sd.runMap(tc, p) }})
+				}
+				recovery := resubmits[sd.id] > 0
+				if recovery {
+					jm.RecomputedPartitions += len(tasks)
+				}
+				if err := c.runStage(job, uint64(sd.id), round, sd.parent, tasks, &jm, recovery); err != nil {
+					return err
+				}
+				// Only now is the shuffle complete; marking it done before
+				// running would make a retried job skip recomputation and
+				// read empty shuffle outputs.
+				sd.setDone(true)
 			}
-			if err := c.runStage(sd.parent, tasks, &jm); err != nil {
-				return err
-			}
+			return nil
 		}
-		return nil
-	}
-	if err := ensure(final); err != nil {
-		return err
+		if err := ensure(final); err != nil {
+			return err
+		}
+		tasks := make([]*task, 0, final.parts)
+		for p := 0; p < final.parts; p++ {
+			if completed[p] {
+				continue
+			}
+			p := p
+			tasks = append(tasks, &task{part: p, run: func(tc *taskContext) {
+				v := final.iterate(tc, p)
+				visitMu.Lock()
+				visit(p, v)
+				completed[p] = true
+				visitMu.Unlock()
+			}})
+		}
+		return c.runStage(job, 0, round, final, tasks, &jm, round > 0)
 	}
 
-	// Result stage.
-	var visitMu sync.Mutex
-	tasks := make([]*task, final.parts)
-	for p := 0; p < final.parts; p++ {
-		p := p
-		tasks[p] = &task{part: p, run: func(tc *taskContext) {
-			v := final.iterate(tc, p)
-			visitMu.Lock()
-			visit(p, v)
-			visitMu.Unlock()
-		}}
-	}
-	if err := c.runStage(final, tasks, &jm); err != nil {
-		return err
+	for round := 0; ; round++ {
+		errAttempt := attempt(round)
+		if errAttempt == nil {
+			break
+		}
+		var ff *fetchFailedError
+		if !errors.As(errAttempt, &ff) {
+			return errAttempt
+		}
+		sd := findShuffleDep(final, ff.shuffle)
+		if sd == nil {
+			return errAttempt
+		}
+		resubmits[sd.id]++
+		// After n failures the stage has attempted n times; allowing another
+		// attempt requires n < MaxStageAttempts.
+		if resubmits[sd.id] >= c.cfg.MaxStageAttempts {
+			return &StageAbortedError{Stage: sd.parent.name, Shuffle: sd.id, Attempts: resubmits[sd.id], Cause: ff}
+		}
+		jm.StageAttempts++
+		sd.setDone(false)
 	}
 
 	jm.Evictions = c.blocks.evictionCount()
@@ -102,8 +158,43 @@ func (c *Context) runJob(final *node, action string, visit func(p int, v any)) (
 	return nil
 }
 
-// runStage places, executes, and accounts one stage.
-func (c *Context) runStage(stageRDD *node, tasks []*task, jm *JobMetrics) error {
+// findShuffleDep locates the shuffle dependency with the given id anywhere
+// in the lineage reachable from n (crossing shuffle boundaries).
+func findShuffleDep(n *node, shuffle int) *shuffleDep {
+	var found *shuffleDep
+	seen := map[int]bool{}
+	var walk func(m *node)
+	walk = func(m *node) {
+		if m == nil || seen[m.id] || found != nil {
+			return
+		}
+		seen[m.id] = true
+		for _, sd := range m.shuffleIn {
+			if sd.id == shuffle {
+				found = sd
+				return
+			}
+			walk(sd.parent)
+		}
+		for _, p := range m.narrowParents {
+			walk(p)
+		}
+	}
+	walk(n)
+	return found
+}
+
+func isFetchFailure(err error) bool {
+	var ff *fetchFailedError
+	return errors.As(err, &ff)
+}
+
+// runStage places, executes, and accounts one stage, retrying failed task
+// attempts (each on a freshly chosen executor) up to Config.TaskMaxFailures
+// times. It returns a *fetchFailedError when a task found a map output
+// missing — the caller resubmits the parent map stage — and a
+// *TaskAbortedError when a task exhausted its attempts.
+func (c *Context) runStage(job, stageID uint64, round int, stageRDD *node, tasks []*task, jm *JobMetrics, recovery bool) error {
 	if len(tasks) == 0 {
 		return nil
 	}
@@ -111,6 +202,8 @@ func (c *Context) runStage(stageRDD *node, tasks []*task, jm *JobMetrics) error 
 	jm.Tasks += len(tasks)
 
 	// Placement: prefer localities, balance by per-stage assignment counts.
+	// The same loads map threads through re-placements and retries so late
+	// decisions still see the stage's live load balance.
 	loads := map[int]int{}
 	c.mu.Lock()
 	for _, t := range tasks {
@@ -118,97 +211,226 @@ func (c *Context) runStage(stageRDD *node, tasks []*task, jm *JobMetrics) error 
 	}
 	c.mu.Unlock()
 
-	// Real execution under the host worker pool.
 	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
+		charges  []*task // failed attempts, kept for virtual accounting
 		stageErr error
 	)
-	for _, t := range tasks {
-		wg.Add(1)
-		c.workers <- struct{}{}
-		go func(t *task) {
-			defer func() {
-				if r := recover(); r != nil {
-					errOnce.Do(func() { stageErr = fmt.Errorf("task %d on executor %d: %v", t.part, t.executor, r) })
+	wave := tasks
+	for attempt := 1; len(wave) > 0 && stageErr == nil; attempt++ {
+		type failure struct {
+			t   *task
+			ff  *fetchFailedError
+			err error
+		}
+		var (
+			wg     sync.WaitGroup
+			failMu sync.Mutex
+			fails  []failure
+			abort  atomic.Bool
+		)
+		for _, t := range wave {
+			if abort.Load() {
+				break // the job is doomed: drain instead of launching more
+			}
+			t.attempt = attempt
+			wg.Add(1)
+			c.workers <- struct{}{}
+			go func(t *task) {
+				tc := &taskContext{ctx: c, job: job, stage: stageID, round: round, part: t.part, attempt: attempt}
+				start := time.Now()
+				defer func() {
+					t.computeSec = time.Since(start).Seconds()
+					t.tc = tc
+					if r := recover(); r != nil {
+						f := failure{t: t}
+						if ff, ok := r.(*fetchFailedError); ok {
+							f.ff = ff
+						} else {
+							f.err = fmt.Errorf("task %d (attempt %d) on executor %d: %v", t.part, attempt, t.executor, r)
+							if attempt >= c.cfg.TaskMaxFailures {
+								abort.Store(true)
+							}
+						}
+						failMu.Lock()
+						fails = append(fails, f)
+						failMu.Unlock()
+					} else {
+						t.ok = true
+						c.mu.Lock()
+						c.tasksDone++
+						c.mu.Unlock()
+					}
+					<-c.workers
+					wg.Done()
+				}()
+				c.beforeTask(t, stageRDD, loads)
+				tc.executor = t.executor
+				c.maybeInjectCrash(tc)
+				t.run(tc)
+			}(t)
+		}
+		wg.Wait()
+
+		// Deterministic post-mortem, in partition order: attribute failures
+		// to executors, pick the error that escalates, build the retry wave.
+		sort.Slice(fails, func(i, j int) bool { return fails[i].t.part < fails[j].t.part })
+		var retry []*task
+		for _, f := range fails {
+			t := f.t
+			charges = append(charges, &task{part: t.part, executor: t.executor, attempt: t.attempt, computeSec: t.computeSec, tc: t.tc})
+			switch {
+			case f.ff != nil:
+				// A fetch failure fails the stage, not the task: it does
+				// not count against the attempt budget, and recovery means
+				// resubmitting the parent map stage. Running siblings
+				// finish first (their results are kept), as in Spark.
+				if stageErr == nil {
+					stageErr = f.ff
 				}
-				<-c.workers
-				wg.Done()
-			}()
-			c.beforeTask(t)
-			tc := &taskContext{ctx: c, executor: t.executor}
-			start := time.Now()
-			t.run(tc)
-			t.computeSec = time.Since(start).Seconds()
-			t.tc = tc
+			case t.attempt >= c.cfg.TaskMaxFailures:
+				c.noteTaskFailure(t.executor)
+				if stageErr == nil || isFetchFailure(stageErr) {
+					stageErr = &TaskAbortedError{Stage: stageRDD.name, Part: t.part, Attempts: t.attempt, Cause: f.err}
+				}
+			default:
+				c.noteTaskFailure(t.executor)
+				t.ok, t.tc = false, nil
+				retry = append(retry, t)
+			}
+		}
+		if stageErr != nil {
+			break
+		}
+		if len(retry) > 0 {
+			jm.TaskRetries += len(retry)
 			c.mu.Lock()
-			c.tasksDone++
+			for _, t := range retry {
+				t.executor = c.placeLocked(stageRDD.preferredExecutors(t.part), loads)
+			}
 			c.mu.Unlock()
-		}(t)
-	}
-	wg.Wait()
-	if stageErr != nil {
-		return stageErr
+		}
+		wave = retry
 	}
 
-	// Virtual accounting: greedy list scheduling of task durations on each
-	// executor's core slots; the stage barrier is the slowest executor.
+	// Virtual accounting: greedy list scheduling of every attempt's duration
+	// — successful and failed alike, both occupied core slots — on each
+	// executor's slots; the stage barrier is the slowest executor.
 	pools := map[int]*simtime.SlotPool{}
 	makespan := 0.0
-	for _, t := range tasks {
+	account := func(t *task, isRecovery bool) {
+		if t.tc == nil {
+			return // never launched (drained after an abort)
+		}
 		pool, ok := pools[t.executor]
 		if !ok {
 			pool = simtime.NewSlotPool(c.cluster.Executor(t.executor).Cores)
 			pools[t.executor] = pool
 		}
-		done := pool.Run(0, c.taskDuration(t))
-		if done > makespan {
+		dur := c.taskDuration(t)
+		if done := pool.Run(0, dur); done > makespan {
 			makespan = done
+		}
+		if isRecovery {
+			jm.RecoverySeconds += dur
 		}
 		c.accumulate(jm, t)
 	}
+	for _, t := range tasks {
+		if t.ok {
+			account(t, recovery || t.attempt > 1)
+		}
+	}
+	for _, t := range charges {
+		account(t, true)
+	}
 	jm.VirtualSeconds += makespan + c.cfg.StageOverheadSec
-	return nil
+	return stageErr
 }
 
-// beforeTask fires any pending failure plan and re-places the task if its
-// executor has died since placement.
-func (c *Context) beforeTask(t *task) {
+// beforeTask fires any due failure plans and re-places the task if its
+// executor has died or been excluded since placement, honouring the stage
+// RDD's locality preferences and the stage's live load balance.
+func (c *Context) beforeTask(t *task, stageRDD *node, loads map[int]int) {
+	c.firePlans()
 	c.mu.Lock()
-	var fire *failurePlan
-	if fp := c.failPlan; fp != nil && !fp.fired && c.tasksDone >= fp.afterTasks {
-		fp.fired = true
-		fire = fp
-	}
-	c.mu.Unlock()
-	if fire != nil {
-		// Best effort; failing the last live executor is refused.
-		_ = c.FailExecutor(fire.executor)
-	}
-	c.mu.Lock()
-	if !c.cluster.Live(t.executor) {
-		t.executor = c.placeLocked(nil, map[int]int{})
+	if !c.cluster.Live(t.executor) || c.excluded[t.executor] {
+		t.executor = c.placeLocked(stageRDD.preferredExecutors(t.part), loads)
 	}
 	c.mu.Unlock()
 }
 
-// placeLocked picks an executor: the least-loaded live executor among the
-// preferred set, else the least-loaded live executor overall, breaking ties
-// by id for determinism. Caller holds c.mu.
+// firePlans triggers every scheduled failure whose task-count threshold has
+// been reached. Multiple queued plans fire in submission order, so chaos
+// scripts can cascade failures.
+func (c *Context) firePlans() {
+	c.mu.Lock()
+	var due []*failurePlan
+	for _, fp := range c.failPlans {
+		if !fp.fired && c.tasksDone >= fp.afterTasks {
+			fp.fired = true
+			due = append(due, fp)
+		}
+	}
+	c.mu.Unlock()
+	for _, fp := range due {
+		// Best effort; failing the last live executor or node is refused.
+		if fp.node >= 0 {
+			_ = c.FailNode(fp.node)
+		} else {
+			_ = c.FailExecutor(fp.executor)
+		}
+	}
+}
+
+// noteTaskFailure counts a task failure against the executor; crossing the
+// Config.ExcludeAfterFailures threshold takes the executor out of scheduling
+// (Spark's blacklisting). The last schedulable executor is never excluded.
+func (c *Context) noteTaskFailure(executor int) {
+	limit := c.cfg.ExcludeAfterFailures
+	if limit <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.execFailures[executor]++
+	if c.execFailures[executor] < limit || c.excluded[executor] {
+		return
+	}
+	for _, id := range c.cluster.LiveExecutors() {
+		if id != executor && !c.excluded[id] {
+			c.excluded[executor] = true
+			return
+		}
+	}
+}
+
+// placeLocked picks an executor: the least-loaded live, non-excluded
+// executor among the preferred set, else the least-loaded live non-excluded
+// executor overall, breaking ties by id for determinism. If exclusion has
+// disqualified every live executor, it yields to liveness. Caller holds c.mu.
 func (c *Context) placeLocked(preferred []int, loads map[int]int) int {
 	if c.cfg.DisableLocality {
 		// Ignore preferences and place uniformly at random (deterministic in
 		// the context seed): without delay scheduling, where a task lands has
 		// no relation to where its data lives.
 		live := c.cluster.LiveExecutors()
-		id := live[c.r.Intn(len(live))]
+		cands := make([]int, 0, len(live))
+		for _, id := range live {
+			if !c.excluded[id] {
+				cands = append(cands, id)
+			}
+		}
+		if len(cands) == 0 {
+			cands = live
+		}
+		id := cands[c.r.Intn(len(cands))]
 		loads[id]++
 		return id
 	}
-	pick := func(cands []int) (int, bool) {
+	pick := func(cands []int, honourExclusion bool) (int, bool) {
 		best, bestLoad := -1, int(^uint(0)>>1)
 		for _, id := range cands {
-			if !c.cluster.Live(id) {
+			if !c.cluster.Live(id) || (honourExclusion && c.excluded[id]) {
 				continue
 			}
 			if l := loads[id]; l < bestLoad {
@@ -217,14 +439,17 @@ func (c *Context) placeLocked(preferred []int, loads map[int]int) int {
 		}
 		return best, best >= 0
 	}
-	anyID, anyOK := pick(c.cluster.LiveExecutors())
+	anyID, anyOK := pick(c.cluster.LiveExecutors(), true)
+	if !anyOK {
+		anyID, anyOK = pick(c.cluster.LiveExecutors(), false)
+	}
 	if !anyOK {
 		panic("rdd: no live executors")
 	}
 	// Delay-scheduling semantics: take the preferred executor while it is no
 	// more loaded than the best alternative; once locality would stack tasks
 	// while other executors idle, fall through to the cluster-wide choice.
-	if prefID, ok := pick(preferred); ok && loads[prefID] <= loads[anyID] {
+	if prefID, ok := pick(preferred, true); ok && loads[prefID] <= loads[anyID] {
 		loads[prefID]++
 		return prefID
 	}
@@ -261,7 +486,7 @@ func (c *Context) taskDuration(t *task) float64 {
 	if ws := float64(tc.workBytes()); ws > execMemPerSlot {
 		dur += 2 * (ws - execMemPerSlot) / diskBps
 	}
-	return dur
+	return dur * c.stragglerSlowdown(tc)
 }
 
 func (c *Context) accumulate(jm *JobMetrics, t *task) {

@@ -31,8 +31,24 @@ type shuffleDep struct {
 	parts  int
 	runMap func(tc *taskContext, mapPart int)
 
+	// done means the map stage has *successfully* completed at least once.
+	// The scheduler sets it only after the stage succeeds, and clears it
+	// when a fetch failure shows the outputs are gone, so a resubmitted job
+	// recomputes rather than silently reading nothing.
 	mu   sync.Mutex
 	done bool
+}
+
+func (sd *shuffleDep) isDone() bool {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.done
+}
+
+func (sd *shuffleDep) setDone(v bool) {
+	sd.mu.Lock()
+	sd.done = v
+	sd.mu.Unlock()
 }
 
 type mapKey struct {
@@ -68,16 +84,38 @@ func (sm *shuffleManager) has(shuffle, mapPart int) bool {
 	return ok
 }
 
+// drop destroys one map output (injected shuffle-data loss).
+func (sm *shuffleManager) drop(shuffle, mapPart int) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	delete(sm.outputs, mapKey{shuffle, mapPart})
+}
+
+// dropNode destroys every map output served from the node: a machine loss
+// takes its shuffle files (and external shuffle service) with it.
+func (sm *shuffleManager) dropNode(node int) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	for k, mo := range sm.outputs {
+		if mo.node == node {
+			delete(sm.outputs, k)
+		}
+	}
+}
+
 // read fetches reduce partition p from all map outputs of the shuffle,
-// charging local or remote transfer on the task context.
+// charging local or remote transfer on the task context. A missing output —
+// destroyed by a node loss or by fault injection — raises a fetchFailedError
+// that the scheduler turns into a map-stage resubmission.
 func (sm *shuffleManager) read(tc *taskContext, shuffle, reducePart, mapParts int) []any {
+	tc.ctx.maybeInjectFetchFailure(tc, shuffle, mapParts)
 	out := make([]any, 0, mapParts)
 	for m := 0; m < mapParts; m++ {
 		sm.mu.Lock()
 		mo, ok := sm.outputs[mapKey{shuffle, m}]
 		sm.mu.Unlock()
 		if !ok {
-			panic(fmt.Sprintf("rdd: missing shuffle output %d/%d", shuffle, m))
+			panic(&fetchFailedError{shuffle: shuffle, mapPart: m})
 		}
 		if mo.node == tc.node() {
 			tc.shuffleLocalBytes += mo.bytes[reducePart]
