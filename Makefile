@@ -1,10 +1,17 @@
 GO ?= go
 
-.PHONY: tier1 vet build test race bench experiments
+.PHONY: tier1 fmt vet build test race bench bench-smoke experiments
 
-# tier1 is the CI gate: vet, build, and the full test suite under the race
-# detector (the recovery layer is concurrent by construction).
-tier1: vet build race
+# tier1 is the CI gate: formatting, vet, build, the full test suite under the
+# race detector (the recovery layer is concurrent by construction), and a
+# smoke run of the streaming-execution benchmarks.
+tier1: fmt vet build race bench-smoke
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +27,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# bench-smoke proves the fused-chain benchmarks still run (allocation numbers
+# are asserted by TestFusedChainAllocsIndependentOfSize; this guards the
+# benchmark harness itself).
+bench-smoke:
+	$(GO) test ./internal/rdd -run FusedNone -bench FusedChain -benchmem -benchtime=10x
 
 experiments:
 	$(GO) run ./cmd/benchtab -exp all -scale 100 -reps 2

@@ -300,9 +300,10 @@ func TestBenchmarkRegistryMatchesPaperArtifacts(t *testing.T) {
 			t.Errorf("paper artifact %s has no experiment", id)
 		}
 	}
-	// The paper's 7 artifacts plus the chaos (lineage recovery) experiment.
-	if len(harness.Experiments()) != 8 {
-		t.Errorf("%d canonical experiments, want 8", len(harness.Experiments()))
+	// The paper's 7 artifacts plus the chaos (lineage recovery) and combine
+	// (map-side combine ablation) experiments.
+	if len(harness.Experiments()) != 9 {
+		t.Errorf("%d canonical experiments, want 9", len(harness.Experiments()))
 	}
 	_ = fmt.Sprintf // keep fmt imported alongside future debug logging
 }

@@ -259,23 +259,22 @@ func (a *Analysis) broadcastNull(ph *data.Phenotype) *rdd.Broadcast[nullModel] {
 // contributionsRDD builds RDD U for the given phenotype: (snp, [U_1j..U_nj])
 // (Algorithm 1 step 7). The phenotype (and covariates, when adjusting) is
 // broadcast; each partition builds the score model once and reuses it for
-// all its SNPs.
+// all its SNPs, while the rows themselves stream through fused with the
+// genotype parse upstream.
 func (a *Analysis) contributionsRDD(fgm *rdd.RDD[GenoRow], ph *data.Phenotype) *rdd.RDD[rdd.KV[int, []float64]] {
 	family := a.opts.family()
 	bc := a.broadcastNull(ph)
-	u := rdd.MapPartitions(fgm, "scoreContributions", func(_ int, in []GenoRow) []rdd.KV[int, []float64] {
+	u := rdd.MapWithSetup(fgm, "scoreContributions", func(int) func(GenoRow) rdd.KV[int, []float64] {
 		nm := bc.Value()
 		model, err := stats.NewAdjustedModel(family, nm.Ph, nm.Cov)
 		if err != nil {
 			panic(err)
 		}
-		out := make([]rdd.KV[int, []float64], len(in))
-		for i, row := range in {
+		return func(row GenoRow) rdd.KV[int, []float64] {
 			u := make([]float64, len(row.G))
 			model.Contributions(row.G, u)
-			out[i] = rdd.KV[int, []float64]{K: row.SNP, V: u}
+			return rdd.KV[int, []float64]{K: row.SNP, V: u}
 		}
-		return out
 	})
 	return u.SetSizeHint(int64(a.patients)*8 + 48)
 }
@@ -482,24 +481,22 @@ func (a *Analysis) MarginalAsymptotic() ([]MarginalResult, error) {
 	}
 	family := a.opts.family()
 	bc := a.broadcastNull(a.phenotype)
-	perSNP := rdd.MapPartitions(fgm, "asymptotic", func(_ int, in []GenoRow) []MarginalResult {
+	perSNP := rdd.MapWithSetup(fgm, "asymptotic", func(int) func(GenoRow) MarginalResult {
 		nm := bc.Value()
 		model, err := stats.NewAdjustedModel(family, nm.Ph, nm.Cov)
 		if err != nil {
 			panic(err)
 		}
-		out := make([]MarginalResult, len(in))
-		for i, row := range in {
+		return func(row GenoRow) MarginalResult {
 			score := stats.Score(model, row.G)
 			variance := model.Variance(row.G)
-			out[i] = MarginalResult{
+			return MarginalResult{
 				SNP:      row.SNP,
 				Score:    score,
 				Variance: variance,
 				PValue:   stats.ChiSquaredSurvival(stats.Chi2Stat(score, variance), 1),
 			}
 		}
-		return out
 	}).SetSizeHint(40)
 	results, err := rdd.Collect(perSNP)
 	if err != nil {

@@ -81,6 +81,10 @@ type Params struct {
 	Cache      bool
 	DiskSpill  bool // persist RDD U at MEMORY_AND_DISK instead of MEMORY_ONLY
 	Iterations int
+
+	// NoMapSideCombine disables map-side combining in ReduceByKey (the
+	// `combine` ablation experiment).
+	NoMapSideCombine bool
 }
 
 // scaledSets returns the SNP-set count after scaling (the set count scales
@@ -158,10 +162,11 @@ func (h *Harness) run(p Params, faults rdd.FaultProfile) (*rdd.Context, *core.Re
 		// Scheduling overheads scale with the data so the overhead-to-work
 		// ratio of the paper's regime is preserved; at Scale=1 these are the
 		// engine defaults.
-		SchedOverheadSec: 0.004 / scale,
-		StageOverheadSec: 0.05 / scale,
-		Seed:             h.Seed,
-		Faults:           faults,
+		SchedOverheadSec:      0.004 / scale,
+		StageOverheadSec:      0.05 / scale,
+		Seed:                  h.Seed,
+		Faults:                faults,
+		DisableMapSideCombine: p.NoMapSideCombine,
 	})
 	if err != nil {
 		return nil, nil, err

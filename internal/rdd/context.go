@@ -65,6 +65,12 @@ type Config struct {
 	// of it are charged spill I/O.
 	StorageFraction float64
 
+	// DisableMapSideCombine makes ReduceByKey (and CountByKey on top of it)
+	// shuffle raw pairs instead of combining per bucket on the map side. It
+	// exists for the ablation benchmark quantifying what map-side combine
+	// saves in shuffled bytes.
+	DisableMapSideCombine bool
+
 	// DisableLocality makes the task scheduler ignore placement preferences
 	// (cached block holders, HDFS replica nodes). It exists for the ablation
 	// benchmark quantifying what locality-aware scheduling buys.

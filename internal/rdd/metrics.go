@@ -19,11 +19,23 @@ type JobMetrics struct {
 	// ComputeSeconds is the total measured host compute across tasks.
 	ComputeSeconds float64
 
-	DFSBytes       int64 // total input scanned (local + remote)
-	DFSLocalBytes  int64 // portion read on a node holding a replica
-	ShuffleBytes   int64
-	CacheReadBytes int64
-	Evictions      int64
+	DFSBytes           int64 // total input scanned (local + remote)
+	DFSLocalBytes      int64 // portion read on a node holding a replica
+	ShuffleBytes       int64 // total shuffle fetch (local + remote)
+	ShuffleRemoteBytes int64 // portion fetched over the network
+	CacheReadBytes     int64
+	Evictions          int64
+
+	// Streaming-execution accounting. MaterializedBytes totals the bytes all
+	// tasks materialised at pipeline breakers (cache puts, shuffle bucket
+	// writes, action boundaries); PeakMaterializedBytes is the largest single
+	// task's materialisation — the per-task transient memory high-water mark.
+	// MaxFusedChain is the longest fused narrow-operator chain any task drove
+	// in a single pass. All three are scheduling-order-insensitive (sums and
+	// maxes over the task set), so they are part of the replay fingerprint.
+	MaterializedBytes     int64
+	PeakMaterializedBytes int64
+	MaxFusedChain         int
 
 	// Recovery accounting: what failure handling cost this job.
 	TaskRetries          int // task attempts beyond each task's first
@@ -39,9 +51,9 @@ type JobMetrics struct {
 
 // String renders a one-line summary.
 func (m JobMetrics) String() string {
-	s := fmt.Sprintf("%s(%s): %d stages, %d tasks, %.3f sim-s, %.3f cpu-s, dfs=%dB shuffle=%dB cache=%dB",
+	s := fmt.Sprintf("%s(%s): %d stages, %d tasks, %.3f sim-s, %.3f cpu-s, dfs=%dB shuffle=%dB cache=%dB peakMat=%dB fused=%d",
 		m.Action, m.RDD, m.Stages, m.Tasks, m.VirtualSeconds, m.ComputeSeconds,
-		m.DFSBytes, m.ShuffleBytes, m.CacheReadBytes)
+		m.DFSBytes, m.ShuffleBytes, m.CacheReadBytes, m.PeakMaterializedBytes, m.MaxFusedChain)
 	if m.TaskRetries > 0 || m.StageAttempts > 0 {
 		s += fmt.Sprintf(" [recovery: %d retries, %d stage re-attempts, %d recomputed parts, %.3f sim-s]",
 			m.TaskRetries, m.StageAttempts, m.RecomputedPartitions, m.RecoverySeconds)

@@ -1,9 +1,13 @@
 // Lineage nodes and task contexts. A node is the untyped core of an RDD: its
-// partition count, its dependencies, and a compute closure that materialises
-// one partition. Typed transformations (rdd.go) wrap nodes; narrow chains
-// pipeline automatically because each compute closure pulls from its parent's
-// iterate, and iterate consults the block manager first when the node is
-// cached — which is exactly how a cached RDD short-circuits its lineage.
+// partition count, its dependencies, and a compute closure that produces a
+// partition *cursor* — a boxed iter.Seq[T] that yields the partition's
+// elements one at a time. Narrow chains fuse automatically: each compute
+// closure wraps its parent's cursor in another lazy sequence, so a chain of
+// maps and filters executes in a single pass over the data with no
+// intermediate slices. Elements materialise only at pipeline breakers —
+// block-manager cache puts (iterate), shuffle bucket writes, and action
+// boundaries — which is exactly where Spark's own pipelined execution
+// materialises.
 
 package rdd
 
@@ -28,11 +32,25 @@ type node struct {
 	// shuffleIn lists the shuffle dependencies whose outputs compute reads.
 	shuffleIn []*shuffleDep
 
+	// compute returns partition p as a boxed iter.Seq[T]. The sequence is
+	// single-use per compute call: stateful operators (Sample) reset their
+	// state inside the closure, so recomputation replays identically.
 	compute func(tc *taskContext, p int) any
 
 	// count extracts the element count from a materialised partition (the
 	// typed wrapper knows the slice type).
 	count func(v any) int
+	// materialize drains a boxed iter.Seq[T] into a boxed []T — the typed
+	// half of a pipeline breaker.
+	materialize func(v any) any
+	// fromSlice wraps a materialised boxed []T (a cached block) back into a
+	// boxed iter.Seq[T] so cached partitions feed the same cursor pipeline.
+	fromSlice func(v any) any
+
+	// fusedDepth is the length of the narrow operator chain this node
+	// terminates (1 for sources and shuffle outputs, parent+1 for fused
+	// narrow operators). Reported as JobMetrics.MaxFusedChain.
+	fusedDepth int
 
 	// cacheLevel: 0 = no persistence, 1 = MEMORY_ONLY, 2 = MEMORY_AND_DISK.
 	cacheLevel   atomic.Int32
@@ -43,7 +61,7 @@ type node struct {
 	prefNodes func(p int) []int
 }
 
-func (c *Context) newNode(name string, parts int, count func(any) int) *node {
+func (c *Context) newNode(name string, parts int) *node {
 	if parts <= 0 {
 		panic(fmt.Sprintf("rdd: node %q with %d partitions", name, parts))
 	}
@@ -52,7 +70,7 @@ func (c *Context) newNode(name string, parts int, count func(any) int) *node {
 		ctx:          c,
 		name:         name,
 		parts:        parts,
-		count:        count,
+		fusedDepth:   1,
 		bytesPerElem: defaultBytesPerElem,
 	}
 }
@@ -62,12 +80,14 @@ func (n *node) estBytes(v any) int64 {
 	return int64(n.count(v)) * n.bytesPerElem
 }
 
-// iterate returns partition p, serving it from the cache when possible and
-// recording the block on the executing executor after a cache miss. This is
-// the lineage/fault-tolerance pivot: a lost block simply recomputes. Blocks
-// demoted to disk under MEMORY_AND_DISK are served at disk (or network)
-// speed instead of memory speed.
+// iterate returns partition p as a boxed iter.Seq[T], serving it from the
+// cache when possible and recording the block on the executing executor after
+// a cache miss. This is the lineage/fault-tolerance pivot: a lost block
+// simply recomputes. An uncached node passes its lazy cursor straight
+// through (fusion); a cached node is a pipeline breaker — the cursor is
+// drained into a slice for the block manager and the slice is re-wrapped.
 func (n *node) iterate(tc *taskContext, p int) any {
+	tc.noteFused(n.fusedDepth)
 	level := n.cacheLevel.Load()
 	if level == 0 {
 		return n.compute(tc, p)
@@ -78,7 +98,7 @@ func (n *node) iterate(tc *taskContext, p int) any {
 		local := n.ctx.cluster.Executor(holder).Node == tc.node()
 		switch {
 		case onDisk && local:
-			tc.cacheDiskLocalByte += bytes
+			tc.cacheDiskLocalBytes += bytes
 		case onDisk:
 			tc.cacheRemoteBytes += bytes
 		case local:
@@ -86,11 +106,13 @@ func (n *node) iterate(tc *taskContext, p int) any {
 		default:
 			tc.cacheRemoteBytes += bytes
 		}
-		return v
+		return n.fromSlice(v)
 	}
-	v := n.compute(tc, p)
-	n.ctx.blocks.put(tc.executor, key, v, n.estBytes(v), level == 2)
-	return v
+	v := n.materialize(n.compute(tc, p))
+	bytes := n.estBytes(v)
+	tc.noteMaterialized(bytes)
+	n.ctx.blocks.put(tc.executor, key, v, bytes, level == 2)
+	return n.fromSlice(v)
 }
 
 // preferredExecutors walks the narrow lineage looking for placement hints:
@@ -153,23 +175,43 @@ type taskContext struct {
 	part    int    // partition the task computes
 	attempt int    // task attempt within the stage, 1-based
 
-	dfsLocalBytes      int64
-	dfsRemoteBytes     int64
-	shuffleLocalBytes  int64
-	shuffleRemoteByte  int64
-	cacheLocalBytes    int64
-	cacheDiskLocalByte int64 // MEMORY_AND_DISK blocks read from local disk
-	cacheRemoteBytes   int64
-	shipBytes          int64 // driver-to-executor payload (Parallelize)
+	dfsLocalBytes       int64
+	dfsRemoteBytes      int64
+	shuffleLocalBytes   int64
+	shuffleRemoteBytes  int64
+	cacheLocalBytes     int64
+	cacheDiskLocalBytes int64 // MEMORY_AND_DISK blocks read from local disk
+	cacheRemoteBytes    int64
+	shipBytes           int64 // driver-to-executor payload (Parallelize)
+
+	// materializedBytes totals the bytes this task materialised at pipeline
+	// breakers (cache puts, shuffle bucket writes, action boundaries). A
+	// fully fused narrow chain ending in a streaming action materialises
+	// nothing; the seed's slice-per-operator path materialised every
+	// intermediate. The per-task maximum surfaces as
+	// JobMetrics.PeakMaterializedBytes.
+	materializedBytes int64
+	// fusedChain is the longest fused narrow chain this task drove.
+	fusedChain int
 }
 
 func (tc *taskContext) node() int {
 	return tc.ctx.cluster.Executor(tc.executor).Node
 }
 
+func (tc *taskContext) noteMaterialized(bytes int64) {
+	tc.materializedBytes += bytes
+}
+
+func (tc *taskContext) noteFused(depth int) {
+	if depth > tc.fusedChain {
+		tc.fusedChain = depth
+	}
+}
+
 // workBytes is the task's total data touch, the driver of the spill model.
 func (tc *taskContext) workBytes() int64 {
 	return tc.dfsLocalBytes + tc.dfsRemoteBytes +
-		tc.shuffleLocalBytes + tc.shuffleRemoteByte +
-		tc.cacheLocalBytes + tc.cacheDiskLocalByte + tc.cacheRemoteBytes + tc.shipBytes
+		tc.shuffleLocalBytes + tc.shuffleRemoteBytes +
+		tc.cacheLocalBytes + tc.cacheDiskLocalBytes + tc.cacheRemoteBytes + tc.shipBytes
 }

@@ -1,15 +1,19 @@
 // The typed RDD surface: sources (Parallelize, TextFile), narrow
-// transformations (Map, Filter, FlatMap, MapPartitions, Union), persistence
-// (Cache/Unpersist), and actions (Collect, Count, Reduce, Foreach). Narrow
-// transformations pipeline within one task; Go methods cannot introduce new
-// type parameters, so transformations that change the element type are free
-// functions, the conventional Go generics idiom.
+// transformations (Map, Filter, FlatMap, MapWithSetup, MapPartitions, Union),
+// persistence (Cache/Unpersist), and actions (Collect, Count, Reduce,
+// Foreach). Narrow transformations fuse into a single streaming pass within
+// one task: each operator wraps its parent's partition cursor (iter.Seq[T])
+// in another lazy sequence, so no intermediate slices are allocated between
+// operators. Go methods cannot introduce new type parameters, so
+// transformations that change the element type are free functions, the
+// conventional Go generics idiom.
 
 package rdd
 
 import (
 	"bytes"
 	"fmt"
+	"iter"
 	"strings"
 )
 
@@ -19,7 +23,42 @@ type RDD[T any] struct {
 	n *node
 }
 
-func countOf[T any](v any) int { return len(v.([]T)) }
+// newTypedNode builds a lineage node carrying the type-erased helpers the
+// untyped engine needs: counting, draining, and re-wrapping partitions of T.
+func newTypedNode[T any](c *Context, name string, parts int) *node {
+	n := c.newNode(name, parts)
+	n.count = func(v any) int { return len(v.([]T)) }
+	n.materialize = func(v any) any { return drainSeq(seqOf[T](v)) }
+	n.fromSlice = func(v any) any { return sliceSeq(v.([]T)) }
+	return n
+}
+
+// seqOf unboxes a partition cursor.
+func seqOf[T any](v any) iter.Seq[T] { return v.(iter.Seq[T]) }
+
+// boxSeq boxes a partition cursor as the canonical iter.Seq[T] so seqOf's
+// type assertion holds regardless of which closure produced it.
+func boxSeq[T any](s iter.Seq[T]) any { return s }
+
+// sliceSeq is a re-drainable cursor over a materialised slice.
+func sliceSeq[T any](s []T) iter.Seq[T] {
+	return func(yield func(T) bool) {
+		for _, v := range s {
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// drainSeq materialises a cursor — a pipeline breaker.
+func drainSeq[T any](s iter.Seq[T]) []T {
+	var out []T
+	for v := range s {
+		out = append(out, v)
+	}
+	return out
+}
 
 // Name returns the RDD's lineage label (for metrics and debugging).
 func (r *RDD[T]) Name() string { return r.n.name }
@@ -83,12 +122,11 @@ func Parallelize[T any](c *Context, items []T, parts int) *RDD[T] {
 	// Copy so later caller mutations cannot alter the "distributed" data.
 	owned := make([]T, len(items))
 	copy(owned, items)
-	n := c.newNode(fmt.Sprintf("parallelize[%d]", len(items)), parts, countOf[T])
+	n := newTypedNode[T](c, fmt.Sprintf("parallelize[%d]", len(items)), parts)
 	n.compute = func(tc *taskContext, p int) any {
 		lo, hi := partRange(len(owned), n.parts, p)
-		out := owned[lo:hi:hi]
-		tc.shipBytes += int64(len(out)) * n.bytesPerElem
-		return out
+		tc.shipBytes += int64(hi-lo) * n.bytesPerElem
+		return boxSeq(sliceSeq(owned[lo:hi:hi]))
 	}
 	return &RDD[T]{n: n}
 }
@@ -106,7 +144,9 @@ func partRange(n, parts, p int) (lo, hi int) {
 // partition owns exactly the lines that *start* inside its range — so map
 // parallelism can match the cluster's core count rather than the block
 // count. Task placement prefers the owning block's replica nodes; reads are
-// charged at disk speed when local and network speed otherwise.
+// charged at disk speed when local and network speed otherwise. Lines stream
+// off the block one at a time; the partition's line set is never materialised
+// as a slice.
 func (c *Context) TextFile(name string, minPartitions int) (*RDD[string], error) {
 	f, err := c.fs.Open(name)
 	if err != nil {
@@ -134,7 +174,7 @@ func (c *Context) TextFile(name string, minPartitions int) (*RDD[string], error)
 			splits = append(splits, split{block: b, lo: lo, hi: hi})
 		}
 	}
-	n := c.newNode(fmt.Sprintf("textFile(%s)", name), len(splits), countOf[string])
+	n := newTypedNode[string](c, fmt.Sprintf("textFile(%s)", name), len(splits))
 	n.prefNodes = func(p int) []int { return c.fs.BlockLocations(f, splits[p].block) }
 	n.compute = func(tc *taskContext, p int) any {
 		sp := splits[p]
@@ -142,7 +182,7 @@ func (c *Context) TextFile(name string, minPartitions int) (*RDD[string], error)
 		start := lineStartAtOrAfter(data, sp.lo)
 		end := lineStartAtOrAfter(data, sp.hi)
 		if start >= end {
-			return []string{}
+			return boxSeq(sliceSeq[string](nil))
 		}
 		local := false
 		for _, nd := range tc.ctx.fs.BlockLocations(f, sp.block) {
@@ -156,12 +196,23 @@ func (c *Context) TextFile(name string, minPartitions int) (*RDD[string], error)
 		} else {
 			tc.dfsRemoteBytes += int64(end - start)
 		}
-		text := string(data[start:end])
-		lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
-		if len(lines) == 1 && lines[0] == "" {
-			lines = nil
+		// One contiguous string copy; yielded lines are substrings of it, so
+		// the cursor allocates nothing per line. Trailing newlines do not
+		// start an extra empty line (interior blank lines are kept).
+		text := strings.TrimRight(string(data[start:end]), "\n")
+		if text == "" {
+			return boxSeq(sliceSeq[string](nil))
 		}
-		return lines
+		return boxSeq[string](func(yield func(string) bool) {
+			rest := text
+			for {
+				line, more, found := strings.Cut(rest, "\n")
+				if !yield(line) || !found {
+					return
+				}
+				rest = more
+			}
+		})
 	}
 	return &RDD[string]{n: n}, nil
 }
@@ -192,85 +243,107 @@ func (c *Context) DefaultParallelism() int {
 	return c.cluster.TotalSlots()
 }
 
-// Map applies f to every element.
+// Map applies f to every element. Fused: elements stream through f without
+// an intermediate slice.
 func Map[T, U any](r *RDD[T], name string, f func(T) U) *RDD[U] {
+	return MapWithSetup(r, name, func(int) func(T) U { return f })
+}
+
+// MapWithSetup is Map with per-partition setup: setup runs once per
+// partition drain (amortising e.g. model construction, as MapPartitions
+// does) and the mapper it returns is applied to every element. Unlike
+// MapPartitions the chain stays fused — the partition is never materialised.
+func MapWithSetup[T, U any](r *RDD[T], name string, setup func(p int) func(T) U) *RDD[U] {
 	parent := r.n
-	n := parent.ctx.newNode(fmt.Sprintf("map:%s(%s)", name, parent.name), parent.parts, countOf[U])
+	n := newTypedNode[U](parent.ctx, fmt.Sprintf("map:%s(%s)", name, parent.name), parent.parts)
 	n.narrowParents = []*node{parent}
+	n.fusedDepth = parent.fusedDepth + 1
 	n.compute = func(tc *taskContext, p int) any {
-		in := parent.iterate(tc, p).([]T)
-		out := make([]U, len(in))
-		for i, v := range in {
-			out[i] = f(v)
-		}
-		return out
+		in := seqOf[T](parent.iterate(tc, p))
+		return boxSeq[U](func(yield func(U) bool) {
+			f := setup(p)
+			for v := range in {
+				if !yield(f(v)) {
+					return
+				}
+			}
+		})
 	}
 	return &RDD[U]{n: n}
 }
 
-// MapPartitions applies f to each whole partition, for transformations that
-// amortise per-partition setup (the partition index is passed through).
+// MapPartitions applies f to each whole partition, for transformations whose
+// contract needs the full slice at once. It is a local pipeline breaker: the
+// parent partition is materialised to feed f (prefer MapWithSetup when the
+// per-partition work is only setup).
 func MapPartitions[T, U any](r *RDD[T], name string, f func(p int, in []T) []U) *RDD[U] {
 	parent := r.n
-	n := parent.ctx.newNode(fmt.Sprintf("mapPartitions:%s(%s)", name, parent.name), parent.parts, countOf[U])
+	n := newTypedNode[U](parent.ctx, fmt.Sprintf("mapPartitions:%s(%s)", name, parent.name), parent.parts)
 	n.narrowParents = []*node{parent}
 	n.compute = func(tc *taskContext, p int) any {
-		return f(p, parent.iterate(tc, p).([]T))
+		in := drainSeq(seqOf[T](parent.iterate(tc, p)))
+		tc.noteMaterialized(int64(len(in)) * parent.bytesPerElem)
+		out := f(p, in)
+		tc.noteMaterialized(int64(len(out)) * n.bytesPerElem)
+		return boxSeq(sliceSeq(out))
 	}
 	return &RDD[U]{n: n}
 }
 
-// Filter keeps the elements for which pred is true.
+// Filter keeps the elements for which pred is true. Fused.
 func Filter[T any](r *RDD[T], name string, pred func(T) bool) *RDD[T] {
 	parent := r.n
-	n := parent.ctx.newNode(fmt.Sprintf("filter:%s(%s)", name, parent.name), parent.parts, countOf[T])
+	n := newTypedNode[T](parent.ctx, fmt.Sprintf("filter:%s(%s)", name, parent.name), parent.parts)
 	n.narrowParents = []*node{parent}
 	n.bytesPerElem = parent.bytesPerElem
+	n.fusedDepth = parent.fusedDepth + 1
 	n.compute = func(tc *taskContext, p int) any {
-		in := parent.iterate(tc, p).([]T)
-		var out []T
-		for _, v := range in {
-			if pred(v) {
-				out = append(out, v)
+		in := seqOf[T](parent.iterate(tc, p))
+		return boxSeq[T](func(yield func(T) bool) {
+			for v := range in {
+				if pred(v) && !yield(v) {
+					return
+				}
 			}
-		}
-		if out == nil {
-			out = []T{}
-		}
-		return out
+		})
 	}
 	return &RDD[T]{n: n}
 }
 
-// FlatMap applies f to every element and concatenates the results.
+// FlatMap applies f to every element and concatenates the results. Fused:
+// only f's own per-element return slices are allocated, never the
+// partition-wide concatenation.
 func FlatMap[T, U any](r *RDD[T], name string, f func(T) []U) *RDD[U] {
 	parent := r.n
-	n := parent.ctx.newNode(fmt.Sprintf("flatMap:%s(%s)", name, parent.name), parent.parts, countOf[U])
+	n := newTypedNode[U](parent.ctx, fmt.Sprintf("flatMap:%s(%s)", name, parent.name), parent.parts)
 	n.narrowParents = []*node{parent}
+	n.fusedDepth = parent.fusedDepth + 1
 	n.compute = func(tc *taskContext, p int) any {
-		in := parent.iterate(tc, p).([]T)
-		var out []U
-		for _, v := range in {
-			out = append(out, f(v)...)
-		}
-		if out == nil {
-			out = []U{}
-		}
-		return out
+		in := seqOf[T](parent.iterate(tc, p))
+		return boxSeq[U](func(yield func(U) bool) {
+			for v := range in {
+				for _, u := range f(v) {
+					if !yield(u) {
+						return
+					}
+				}
+			}
+		})
 	}
 	return &RDD[U]{n: n}
 }
 
 // Union concatenates two RDDs of the same type; partitions of a follow
-// partitions of b.
+// partitions of b. Fused into whichever parent chain the partition maps to.
 func Union[T any](a, b *RDD[T]) *RDD[T] {
 	if a.n.ctx != b.n.ctx {
 		panic("rdd: union of RDDs from different contexts")
 	}
 	ctx := a.n.ctx
-	n := ctx.newNode(fmt.Sprintf("union(%s,%s)", a.n.name, b.n.name), a.n.parts+b.n.parts, countOf[T])
+	n := newTypedNode[T](ctx, fmt.Sprintf("union(%s,%s)", a.n.name, b.n.name), a.n.parts+b.n.parts)
 	n.narrowParents = []*node{a.n, b.n}
-	n.bytesPerElem = a.n.bytesPerElem
+	n.bytesPerElem = max(a.n.bytesPerElem, b.n.bytesPerElem)
+	n.fusedDepth = max(a.n.fusedDepth, b.n.fusedDepth) + 1
 	n.compute = func(tc *taskContext, p int) any {
 		if p < a.n.parts {
 			return a.n.iterate(tc, p)
@@ -280,27 +353,54 @@ func Union[T any](a, b *RDD[T]) *RDD[T] {
 	return &RDD[T]{n: n}
 }
 
-// Collect materialises the whole RDD on the driver in partition order.
+// runSeqJob runs the action on the final node: eval consumes partition p's
+// cursor inside the task (in parallel, outside the driver lock) and its
+// result is handed to visit under the lock, at most once per partition.
+func runSeqJob[T any](n *node, action string, eval func(tc *taskContext, s iter.Seq[T]) any, visit func(p int, v any)) error {
+	return n.ctx.runJob(n, action, func(tc *taskContext, p int) any {
+		return eval(tc, seqOf[T](n.iterate(tc, p)))
+	}, visit)
+}
+
+// Collect materialises the whole RDD on the driver in partition order. The
+// output slice is preallocated from the per-partition counts, so the only
+// copies are partition results and the final assembly.
 func Collect[T any](r *RDD[T]) ([]T, error) {
-	parts := make([][]T, r.n.parts)
-	err := r.n.ctx.runJob(r.n, "collect", func(p int, v any) {
+	n := r.n
+	parts := make([][]T, n.parts)
+	err := runSeqJob(n, "collect", func(tc *taskContext, s iter.Seq[T]) any {
+		out := drainSeq(s)
+		tc.noteMaterialized(int64(len(out)) * n.bytesPerElem)
+		return out
+	}, func(p int, v any) {
 		parts[p] = v.([]T)
 	})
 	if err != nil {
 		return nil, err
 	}
-	var out []T
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	out := make([]T, 0, total)
 	for _, part := range parts {
 		out = append(out, part...)
 	}
 	return out, nil
 }
 
-// Count returns the number of elements.
+// Count returns the number of elements. Streaming: partitions are counted
+// off the cursor without being materialised.
 func Count[T any](r *RDD[T]) (int, error) {
 	counts := make([]int, r.n.parts)
-	err := r.n.ctx.runJob(r.n, "count", func(p int, v any) {
-		counts[p] = len(v.([]T))
+	err := runSeqJob(r.n, "count", func(_ *taskContext, s iter.Seq[T]) any {
+		n := 0
+		for range s {
+			n++
+		}
+		return n
+	}, func(p int, v any) {
+		counts[p] = v.(int)
 	})
 	if err != nil {
 		return 0, err
@@ -313,7 +413,8 @@ func Count[T any](r *RDD[T]) (int, error) {
 }
 
 // Reduce folds all elements with f, which must be associative and
-// commutative. It returns an error on an empty RDD.
+// commutative. Streaming: each partition folds off the cursor without being
+// materialised. It returns an error on an empty RDD.
 func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
 	type partial struct {
 		v  T
@@ -321,16 +422,18 @@ func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
 	}
 	partials := make([]partial, r.n.parts)
 	var zero T
-	err := r.n.ctx.runJob(r.n, "reduce", func(p int, v any) {
-		in := v.([]T)
-		if len(in) == 0 {
-			return
+	err := runSeqJob(r.n, "reduce", func(_ *taskContext, s iter.Seq[T]) any {
+		var pt partial
+		for x := range s {
+			if !pt.ok {
+				pt.v, pt.ok = x, true
+			} else {
+				pt.v = f(pt.v, x)
+			}
 		}
-		acc := in[0]
-		for _, x := range in[1:] {
-			acc = f(acc, x)
-		}
-		partials[p] = partial{v: acc, ok: true}
+		return pt
+	}, func(p int, v any) {
+		partials[p] = v.(partial)
 	})
 	if err != nil {
 		return zero, err
@@ -355,9 +458,15 @@ func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
 
 // Foreach runs visit once per partition on the driver, in no particular
 // order but with exclusive access (visit need not be concurrency-safe). It
-// is the low-level action behind custom aggregations.
+// is the low-level action behind custom aggregations; the partition is
+// materialised to honour the slice contract.
 func Foreach[T any](r *RDD[T], visit func(p int, in []T)) error {
-	return r.n.ctx.runJob(r.n, "foreach", func(p int, v any) {
+	n := r.n
+	return runSeqJob(n, "foreach", func(tc *taskContext, s iter.Seq[T]) any {
+		out := drainSeq(s)
+		tc.noteMaterialized(int64(len(out)) * n.bytesPerElem)
+		return out
+	}, func(p int, v any) {
 		visit(p, v.([]T))
 	})
 }

@@ -7,30 +7,34 @@ package rdd
 
 import (
 	"fmt"
+	"iter"
 	"strings"
 )
 
 // SaveAsTextFile formats every element with format (one per line, in
 // partition order) and writes the result to the context's file system under
-// name. It is an action: it runs a job and materialises the RDD.
+// name. It is an action; each task streams its partition straight into its
+// formatted "part file" (the formatted text is the materialisation, not an
+// element slice).
 func SaveAsTextFile[T any](r *RDD[T], name string, format func(T) string) error {
 	if name == "" {
 		return fmt.Errorf("rdd: empty output name")
 	}
-	parts := make([][]T, r.n.parts)
-	if err := r.n.ctx.runJob(r.n, "saveAsTextFile", func(p int, v any) {
-		parts[p] = v.([]T)
-	}); err != nil {
-		return err
-	}
-	var sb strings.Builder
-	for _, part := range parts {
-		for _, v := range part {
+	parts := make([]string, r.n.parts)
+	if err := runSeqJob(r.n, "saveAsTextFile", func(tc *taskContext, s iter.Seq[T]) any {
+		var sb strings.Builder
+		for v := range s {
 			sb.WriteString(format(v))
 			sb.WriteByte('\n')
 		}
+		tc.noteMaterialized(int64(sb.Len()))
+		return sb.String()
+	}, func(p int, v any) {
+		parts[p] = v.(string)
+	}); err != nil {
+		return err
 	}
-	_, err := r.n.ctx.fs.Write(name, []byte(sb.String()))
+	_, err := r.n.ctx.fs.Write(name, []byte(strings.Join(parts, "")))
 	return err
 }
 

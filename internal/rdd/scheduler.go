@@ -47,11 +47,13 @@ type task struct {
 	ok         bool
 }
 
-// runJob executes the action on the final node, calling visit once per
-// partition with the materialised partition value. visit runs under the
-// driver lock (no internal synchronisation needed) and is called at most
-// once per partition even across stage re-attempts.
-func (c *Context) runJob(final *node, action string, visit func(p int, v any)) (err error) {
+// runJob executes the action on the final node. eval runs inside each result
+// task, in parallel: it receives the task context and partition index and
+// must drive the partition's cursor to a result (this is where a fused chain
+// actually streams, outside any driver lock). visit then receives eval's
+// result under the driver lock (no internal synchronisation needed) and is
+// called at most once per partition even across stage re-attempts.
+func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, p int) any, visit func(p int, v any)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("rdd: job %s(%s) failed: %v", action, final.name, r)
@@ -117,7 +119,7 @@ func (c *Context) runJob(final *node, action string, visit func(p int, v any)) (
 			}
 			p := p
 			tasks = append(tasks, &task{part: p, run: func(tc *taskContext) {
-				v := final.iterate(tc, p)
+				v := eval(tc, p)
 				visitMu.Lock()
 				visit(p, v)
 				completed[p] = true
@@ -472,9 +474,9 @@ func (c *Context) taskDuration(t *task) float64 {
 		float64(tc.dfsLocalBytes)/diskBps +
 		float64(tc.dfsRemoteBytes)/netBps +
 		float64(tc.shuffleLocalBytes)/diskBps +
-		float64(tc.shuffleRemoteByte)/netBps +
+		float64(tc.shuffleRemoteBytes)/netBps +
 		float64(tc.cacheLocalBytes)/memBps +
-		float64(tc.cacheDiskLocalByte)/diskBps +
+		float64(tc.cacheDiskLocalBytes)/diskBps +
 		float64(tc.cacheRemoteBytes)/netBps +
 		float64(tc.shipBytes)/netBps
 
@@ -494,6 +496,14 @@ func (c *Context) accumulate(jm *JobMetrics, t *task) {
 	jm.ComputeSeconds += t.computeSec
 	jm.DFSBytes += tc.dfsLocalBytes + tc.dfsRemoteBytes
 	jm.DFSLocalBytes += tc.dfsLocalBytes
-	jm.ShuffleBytes += tc.shuffleLocalBytes + tc.shuffleRemoteByte
-	jm.CacheReadBytes += tc.cacheLocalBytes + tc.cacheDiskLocalByte + tc.cacheRemoteBytes
+	jm.ShuffleBytes += tc.shuffleLocalBytes + tc.shuffleRemoteBytes
+	jm.ShuffleRemoteBytes += tc.shuffleRemoteBytes
+	jm.CacheReadBytes += tc.cacheLocalBytes + tc.cacheDiskLocalBytes + tc.cacheRemoteBytes
+	jm.MaterializedBytes += tc.materializedBytes
+	if tc.materializedBytes > jm.PeakMaterializedBytes {
+		jm.PeakMaterializedBytes = tc.materializedBytes
+	}
+	if tc.fusedChain > jm.MaxFusedChain {
+		jm.MaxFusedChain = tc.fusedChain
+	}
 }

@@ -4,12 +4,20 @@
 // are retained for the lifetime of the context (as with Spark's external
 // shuffle service on YARN, they survive executor failures), so a shuffle is
 // computed at most once per lineage.
+//
+// Bucket writes are pipeline breakers: the map side streams the fused narrow
+// chain's cursor directly into per-reduce buckets, so the map input is never
+// materialised as one slice. For ReduceByKey/CountByKey the buckets are
+// combining hash maps (Spark's map-side combine), shrinking shuffled bytes
+// to one pair per (bucket, key) before the fetch; Config.DisableMapSideCombine
+// ablates this for the `combine` benchmark experiment.
 
 package rdd
 
 import (
 	"fmt"
 	"hash/maphash"
+	"iter"
 	"sync"
 )
 
@@ -120,7 +128,7 @@ func (sm *shuffleManager) read(tc *taskContext, shuffle, reducePart, mapParts in
 		if mo.node == tc.node() {
 			tc.shuffleLocalBytes += mo.bytes[reducePart]
 		} else {
-			tc.shuffleRemoteByte += mo.bytes[reducePart]
+			tc.shuffleRemoteBytes += mo.bytes[reducePart]
 		}
 		out = append(out, mo.buckets[reducePart])
 	}
@@ -195,9 +203,50 @@ func (m *orderedMap[K, V]) pairs() []KV[K, V] {
 	return out
 }
 
+// seq yields the pairs in insertion order without materialising them; the
+// map must not be mutated afterwards, which holds for merged reduce outputs.
+func (m *orderedMap[K, V]) seq() iter.Seq[KV[K, V]] {
+	return func(yield func(KV[K, V]) bool) {
+		for i, k := range m.keys {
+			if !yield(KV[K, V]{K: k, V: m.vals[i]}) {
+				return
+			}
+		}
+	}
+}
+
+// writeBuckets registers a map task's buckets with the shuffle manager and
+// accounts the materialisation (bucket writes are pipeline breakers).
+func writeBuckets[K comparable, V any](ctx *Context, tc *taskContext, sd *shuffleDep, mapPart int, buckets [][]KV[K, V], bytesPerElem int64) {
+	anyBuckets := make([]any, len(buckets))
+	bytes := make([]int64, len(buckets))
+	var total int64
+	for i, b := range buckets {
+		anyBuckets[i] = b
+		bytes[i] = int64(len(b)) * bytesPerElem
+		total += bytes[i]
+	}
+	tc.noteMaterialized(total)
+	ctx.shuffle.write(sd.id, mapPart, tc.node(), anyBuckets, bytes)
+}
+
+// bucketize streams pairs into one bucket per reduce partition, without
+// combining (GroupByKey, Join, and the combine-disabled ablation).
+func bucketize[K comparable, V any](in iter.Seq[KV[K, V]], parts int) [][]KV[K, V] {
+	buckets := make([][]KV[K, V], parts)
+	for kv := range in {
+		i := hashPartition(kv.K, parts)
+		buckets[i] = append(buckets[i], kv)
+	}
+	return buckets
+}
+
 // ReduceByKey merges the values of each key with combine, which must be
-// associative and commutative. Map-side combining runs before the shuffle,
-// as in Spark. parts <= 0 inherits the parent partition count.
+// associative and commutative. The map side streams the parent cursor into
+// per-bucket combining hash maps (Spark's map-side combine), so each map
+// output holds one pair per (bucket, key) — shuffled bytes scale with
+// distinct keys rather than input size. parts <= 0 inherits the parent
+// partition count.
 func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], combine func(V, V) V, parts int) *RDD[KV[K, V]] {
 	ctx := r.n.ctx
 	if parts <= 0 {
@@ -206,29 +255,31 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], combine func(V, V) V, pa
 	parent := r.n
 	sd := &shuffleDep{id: ctx.newShuffleID(), parent: parent, parts: parts}
 	sd.runMap = func(tc *taskContext, mapPart int) {
-		in := parent.iterate(tc, mapPart).([]KV[K, V])
-		buckets := make([]*orderedMap[K, V], parts)
-		for i := range buckets {
-			buckets[i] = newOrderedMap[K, V]()
-		}
-		for _, kv := range in {
-			b := buckets[hashPartition(kv.K, parts)]
-			if old, ok := b.get(kv.K); ok {
-				b.set(kv.K, combine(old, kv.V))
-			} else {
-				b.set(kv.K, kv.V)
+		in := seqOf[KV[K, V]](parent.iterate(tc, mapPart))
+		var buckets [][]KV[K, V]
+		if ctx.cfg.DisableMapSideCombine {
+			buckets = bucketize(in, parts)
+		} else {
+			combined := make([]*orderedMap[K, V], parts)
+			for i := range combined {
+				combined[i] = newOrderedMap[K, V]()
+			}
+			for kv := range in {
+				b := combined[hashPartition(kv.K, parts)]
+				if old, ok := b.get(kv.K); ok {
+					b.set(kv.K, combine(old, kv.V))
+				} else {
+					b.set(kv.K, kv.V)
+				}
+			}
+			buckets = make([][]KV[K, V], parts)
+			for i, b := range combined {
+				buckets[i] = b.pairs()
 			}
 		}
-		anyBuckets := make([]any, parts)
-		bytes := make([]int64, parts)
-		for i, b := range buckets {
-			pairs := b.pairs()
-			anyBuckets[i] = pairs
-			bytes[i] = int64(len(pairs)) * parent.bytesPerElem
-		}
-		ctx.shuffle.write(sd.id, mapPart, tc.node(), anyBuckets, bytes)
+		writeBuckets(ctx, tc, sd, mapPart, buckets, parent.bytesPerElem)
 	}
-	n := ctx.newNode(fmt.Sprintf("reduceByKey(%s)", parent.name), parts, countOf[KV[K, V]])
+	n := newTypedNode[KV[K, V]](ctx, fmt.Sprintf("reduceByKey(%s)", parent.name), parts)
 	n.shuffleIn = []*shuffleDep{sd}
 	n.bytesPerElem = parent.bytesPerElem
 	n.compute = func(tc *taskContext, p int) any {
@@ -242,7 +293,8 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], combine func(V, V) V, pa
 				}
 			}
 		}
-		return merged.pairs()
+		tc.noteMaterialized(int64(len(merged.keys)) * n.bytesPerElem)
+		return boxSeq(merged.seq())
 	}
 	return &RDD[KV[K, V]]{n: n}
 }
@@ -257,46 +309,41 @@ func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], parts int) *RDD[KV[K, []V
 	parent := r.n
 	sd := &shuffleDep{id: ctx.newShuffleID(), parent: parent, parts: parts}
 	sd.runMap = func(tc *taskContext, mapPart int) {
-		in := parent.iterate(tc, mapPart).([]KV[K, V])
-		buckets := make([][]KV[K, V], parts)
-		for _, kv := range in {
-			i := hashPartition(kv.K, parts)
-			buckets[i] = append(buckets[i], kv)
-		}
-		anyBuckets := make([]any, parts)
-		bytes := make([]int64, parts)
-		for i, b := range buckets {
-			anyBuckets[i] = b
-			bytes[i] = int64(len(b)) * parent.bytesPerElem
-		}
-		ctx.shuffle.write(sd.id, mapPart, tc.node(), anyBuckets, bytes)
+		in := seqOf[KV[K, V]](parent.iterate(tc, mapPart))
+		writeBuckets(ctx, tc, sd, mapPart, bucketize(in, parts), parent.bytesPerElem)
 	}
-	n := ctx.newNode(fmt.Sprintf("groupByKey(%s)", parent.name), parts, countOf[KV[K, []V]])
+	n := newTypedNode[KV[K, []V]](ctx, fmt.Sprintf("groupByKey(%s)", parent.name), parts)
 	n.shuffleIn = []*shuffleDep{sd}
 	n.bytesPerElem = parent.bytesPerElem
 	n.compute = func(tc *taskContext, p int) any {
 		merged := newOrderedMap[K, []V]()
+		elems := 0
 		for _, bucket := range ctx.shuffle.read(tc, sd.id, p, parent.parts) {
 			for _, kv := range bucket.([]KV[K, V]) {
 				old, _ := merged.get(kv.K)
 				merged.set(kv.K, append(old, kv.V))
+				elems++
 			}
 		}
-		return merged.pairs()
+		tc.noteMaterialized(int64(elems) * parent.bytesPerElem)
+		return boxSeq(merged.seq())
 	}
 	return &RDD[KV[K, []V]]{n: n}
 }
 
 // Join computes the inner join of two pair RDDs on their keys (the operation
 // joining the weight RDD with the per-SNP score RDD in Algorithm 1 step 9).
-// Keys appearing multiple times on a side produce the usual cross product.
+// Keys appearing multiple times on a side produce the usual cross product,
+// emitted lazily off the merged sides. parts <= 0 inherits the larger
+// parent's partition count, as Spark's defaultPartitioner does — joining a
+// small side must not collapse the big side's parallelism.
 func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int) *RDD[KV[K, JoinPair[V, W]]] {
 	ctx := a.n.ctx
 	if b.n.ctx != ctx {
 		panic("rdd: joining RDDs from different contexts")
 	}
 	if parts <= 0 {
-		parts = a.n.parts
+		parts = max(a.n.parts, b.n.parts)
 	}
 	left, right := a.n, b.n
 	sdL := &shuffleDep{id: ctx.newShuffleID(), parent: left, parts: parts}
@@ -304,57 +351,53 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int)
 	sdR := &shuffleDep{id: ctx.newShuffleID(), parent: right, parts: parts}
 	sdR.runMap = writeJoinSide[K, W](ctx, sdR, right, parts)
 
-	n := ctx.newNode(fmt.Sprintf("join(%s,%s)", left.name, right.name), parts, countOf[KV[K, JoinPair[V, W]]])
+	n := newTypedNode[KV[K, JoinPair[V, W]]](ctx, fmt.Sprintf("join(%s,%s)", left.name, right.name), parts)
 	n.shuffleIn = []*shuffleDep{sdL, sdR}
 	n.bytesPerElem = left.bytesPerElem + right.bytesPerElem
 	n.compute = func(tc *taskContext, p int) any {
 		ls := newOrderedMap[K, []V]()
+		lElems := 0
 		for _, bucket := range ctx.shuffle.read(tc, sdL.id, p, left.parts) {
 			for _, kv := range bucket.([]KV[K, V]) {
 				old, _ := ls.get(kv.K)
 				ls.set(kv.K, append(old, kv.V))
+				lElems++
 			}
 		}
 		rs := newOrderedMap[K, []W]()
+		rElems := 0
 		for _, bucket := range ctx.shuffle.read(tc, sdR.id, p, right.parts) {
 			for _, kv := range bucket.([]KV[K, W]) {
 				old, _ := rs.get(kv.K)
 				rs.set(kv.K, append(old, kv.V))
+				rElems++
 			}
 		}
-		var out []KV[K, JoinPair[V, W]]
-		for _, k := range ls.keys {
-			lvs, _ := ls.get(k)
-			rvs, ok := rs.get(k)
-			if !ok {
-				continue
-			}
-			for _, lv := range lvs {
-				for _, rv := range rvs {
-					out = append(out, KV[K, JoinPair[V, W]]{K: k, V: JoinPair[V, W]{Left: lv, Right: rv}})
+		tc.noteMaterialized(int64(lElems)*left.bytesPerElem + int64(rElems)*right.bytesPerElem)
+		return boxSeq[KV[K, JoinPair[V, W]]](func(yield func(KV[K, JoinPair[V, W]]) bool) {
+			for _, k := range ls.keys {
+				lvs, _ := ls.get(k)
+				rvs, ok := rs.get(k)
+				if !ok {
+					continue
+				}
+				for _, lv := range lvs {
+					for _, rv := range rvs {
+						if !yield(KV[K, JoinPair[V, W]]{K: k, V: JoinPair[V, W]{Left: lv, Right: rv}}) {
+							return
+						}
+					}
 				}
 			}
-		}
-		return out
+		})
 	}
 	return &RDD[KV[K, JoinPair[V, W]]]{n: n}
 }
 
 func writeJoinSide[K comparable, V any](ctx *Context, sd *shuffleDep, parent *node, parts int) func(tc *taskContext, mapPart int) {
 	return func(tc *taskContext, mapPart int) {
-		in := parent.iterate(tc, mapPart).([]KV[K, V])
-		buckets := make([][]KV[K, V], parts)
-		for _, kv := range in {
-			i := hashPartition(kv.K, parts)
-			buckets[i] = append(buckets[i], kv)
-		}
-		anyBuckets := make([]any, parts)
-		bytes := make([]int64, parts)
-		for i, b := range buckets {
-			anyBuckets[i] = b
-			bytes[i] = int64(len(b)) * parent.bytesPerElem
-		}
-		ctx.shuffle.write(sd.id, mapPart, tc.node(), anyBuckets, bytes)
+		in := seqOf[KV[K, V]](parent.iterate(tc, mapPart))
+		writeBuckets(ctx, tc, sd, mapPart, bucketize(in, parts), parent.bytesPerElem)
 	}
 }
 
