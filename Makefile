@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench bench-smoke experiments
+.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke trace experiments
 
 # tier1 is the CI gate: formatting, vet, build, the full test suite under the
-# race detector (the recovery layer is concurrent by construction), and a
-# smoke run of the streaming-execution benchmarks.
-tier1: fmt vet build race bench-smoke
+# race detector (the recovery layer is concurrent by construction), a smoke
+# run of the streaming-execution benchmarks, and an event-log round trip
+# through the real CLIs.
+tier1: fmt vet build race bench-smoke eventlog-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -33,6 +34,20 @@ bench:
 # benchmark harness itself).
 bench-smoke:
 	$(GO) test ./internal/rdd -run FusedNone -bench FusedChain -benchmem -benchtime=10x
+
+# eventlog-smoke exercises the observability surface end to end: a small
+# sparkscore run emits a JSONL event log, and sparkui must parse it back and
+# render the job/stage tables without error.
+eventlog-smoke:
+	$(GO) run ./cmd/sparkscore -generate -patients 80 -snps 400 -sets 8 -iterations 8 \
+		-events $${TMPDIR:-/tmp}/sparkscore-smoke.jsonl > /dev/null
+	$(GO) run ./cmd/sparkui -log $${TMPDIR:-/tmp}/sparkscore-smoke.jsonl > /dev/null
+	@echo "eventlog-smoke: emit + reparse ok"
+
+# trace runs the quickstart with a timeline listener and leaves a Chrome-trace
+# JSON next to the repo root (open in chrome://tracing or ui.perfetto.dev).
+trace:
+	$(GO) run ./examples/quickstart -trace quickstart.trace.json
 
 experiments:
 	$(GO) run ./cmd/benchtab -exp all -scale 100 -reps 2

@@ -25,10 +25,23 @@ func main() {
 		reps     = flag.Int("reps", 2, "repetitions per configuration (for mean/stdev tables)")
 		maxIters = flag.Int("max-iters", 0, "cap resampling iterations (0 = run the paper's full axes)")
 		seed     = flag.Uint64("seed", 1, "seed for data generation and resampling")
+		events   = flag.String("events", "", "write one JSONL event log per measured run into this directory (render with sparkui)")
+		trace    = flag.String("trace", "", "write one Chrome-trace timeline per measured run into this directory")
 	)
 	flag.Parse()
 
-	h := &harness.Harness{Scale: *scale, Reps: *reps, MaxIterations: *maxIters, Seed: *seed}
+	for _, dir := range []string{*events, *trace} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	h := &harness.Harness{
+		Scale: *scale, Reps: *reps, MaxIterations: *maxIters, Seed: *seed,
+		EventLogDir: *events, TraceDir: *trace,
+	}
 	start := time.Now()
 	var err error
 	if *exp == "all" {
@@ -52,4 +65,10 @@ func main() {
 	}
 	fmt.Printf("\nbenchtab: done in %.1fs wall (scale 1/%d, %d reps)\n",
 		time.Since(start).Seconds(), *scale, *reps)
+	if *events != "" {
+		fmt.Printf("benchtab: per-run event logs in %s (render with: sparkui -log <file>)\n", *events)
+	}
+	if *trace != "" {
+		fmt.Printf("benchtab: per-run timelines in %s (open in chrome://tracing)\n", *trace)
+	}
 }

@@ -51,6 +51,10 @@ func main() {
 		marginal = flag.Bool("marginal", false, "also run the per-SNP asymptotic analysis")
 		setAsym  = flag.Bool("asymptotic", false, "also run the per-set asymptotic (Liu) analysis")
 		out      = flag.String("out", "", "write the per-set result table (TSV) to this file")
+
+		eventsOut = flag.String("events", "", "write a JSONL event log to this file (render it with sparkui)")
+		traceOut  = flag.String("trace", "", "write a Chrome-trace timeline to this file (open in chrome://tracing)")
+		progress  = flag.Bool("progress", false, "print job/stage/recovery progress as the analysis runs")
 	)
 	flag.Parse()
 
@@ -63,12 +67,32 @@ func main() {
 			fatal(err)
 		}
 	}
+	var listeners []rdd.Listener
+	var eventLog *rdd.EventLogWriter
+	var eventFile *os.File
+	if *eventsOut != "" {
+		eventFile, err = os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		eventLog = rdd.NewEventLogWriter(eventFile)
+		listeners = append(listeners, eventLog)
+	}
+	var timeline *rdd.TimelineListener
+	if *traceOut != "" {
+		timeline = rdd.NewTimelineListener()
+		listeners = append(listeners, timeline)
+	}
+	if *progress {
+		listeners = append(listeners, &rdd.ConsoleProgressListener{})
+	}
 	ctx, err := rdd.New(rdd.Config{
 		Cluster: cluster.Config{
 			Nodes: *nodes, Spec: cluster.M3TwoXLarge,
 			ExecutorsPerNode: *execs, CoresPerExecutor: *cores, MemPerExecutorGiB: *mem,
 		},
-		Seed: *seed,
+		Seed:      *seed,
+		Listeners: listeners,
 	})
 	if err != nil {
 		fatal(err)
@@ -129,6 +153,30 @@ func main() {
 		}
 	}
 	fmt.Printf("\nsimulated cluster time: %.1f s over %d jobs\n", ctx.VirtualTime(), len(ctx.Jobs()))
+
+	if eventLog != nil {
+		if err := eventLog.Close(); err != nil {
+			fatal(err)
+		}
+		if err := eventFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote event log %s (render with: sparkui -log %s)\n", *eventsOut, *eventsOut)
+	}
+	if timeline != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := timeline.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote timeline %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 func loadDataset(dir string, generate bool, patients, snps, sets int, seed uint64) (*data.Dataset, error) {

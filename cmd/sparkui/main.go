@@ -1,0 +1,270 @@
+// Command sparkui renders a SparkScore event log as a text Spark-UI: job,
+// stage, and recovery-event tables reconstructed purely from the JSONL log,
+// the way Spark's History Server rebuilds its UI from spark.eventLog files.
+//
+//	sparkscore -generate -iterations 200 -events run.jsonl
+//	sparkui -log run.jsonl            # jobs, stages, recovery events
+//	sparkui -log run.jsonl -tasks     # plus every task attempt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparkscore/internal/metrics"
+	"sparkscore/internal/rdd"
+)
+
+func main() {
+	logPath := flag.String("log", "", "JSONL event log (sparkscore -events, benchtab -events, or rdd.EventLogWriter)")
+	tasks := flag.Bool("tasks", false, "also print the per-task-attempt table")
+	flag.Parse()
+	if *logPath == "" && flag.NArg() == 1 {
+		*logPath = flag.Arg(0)
+	}
+	if *logPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: sparkui -log <events.jsonl> [-tasks]")
+		os.Exit(2)
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := rdd.ReadEventLog(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	ui := build(events)
+	ui.render(os.Stdout, *tasks)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sparkui:", err)
+	os.Exit(1)
+}
+
+// stage is one stage attempt (a (job, stage-id, round) task set).
+type stage struct {
+	id             uint64
+	round          int
+	rdd            string
+	tasks          int
+	failedAttempts int
+	seconds        float64
+	recovery       bool
+	failed         bool
+	done           bool
+	attempts       []*rdd.TaskEnd
+}
+
+// job is one action's accounting, rebuilt from its events.
+type job struct {
+	id        uint64
+	action    string
+	rdd       string
+	tasks     int
+	retries   int
+	resubmits int
+	evictions int
+	seconds   float64
+	ended     bool
+	failed    bool
+	errMsg    string
+	stages    []*stage
+}
+
+// recoveryEvent is one row of the recovery table: anything the fault-recovery
+// machinery did, in log order.
+type recoveryEvent struct {
+	time float64
+	desc string
+}
+
+type model struct {
+	events   int
+	jobs     []*job
+	recovery []recoveryEvent
+}
+
+// build folds the event stream into jobs, stages, and recovery rows.
+func build(events []rdd.Event) *model {
+	m := &model{events: len(events)}
+	byID := map[uint64]*job{}
+	var cur *job // the running job, for events that carry no job id
+	jobOf := func(id uint64) *job {
+		if j, ok := byID[id]; ok {
+			return j
+		}
+		j := &job{id: id}
+		byID[id] = j
+		m.jobs = append(m.jobs, j)
+		return j
+	}
+	// openStage finds the stage attempt TaskEnd/StageCompleted events refer
+	// to: the latest unfinished (stage, round) of the job.
+	openStage := func(j *job, id uint64, round int) *stage {
+		for i := len(j.stages) - 1; i >= 0; i-- {
+			if s := j.stages[i]; s.id == id && s.round == round && !s.done {
+				return s
+			}
+		}
+		return nil
+	}
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case *rdd.JobStart:
+			j := jobOf(e.Job)
+			j.action, j.rdd = e.Action, e.RDD
+			cur = j
+		case *rdd.JobEnd:
+			j := jobOf(e.Job)
+			j.ended, j.failed, j.errMsg = true, e.Failed, e.Error
+			j.seconds = e.VirtualSeconds
+			if cur == j {
+				cur = nil
+			}
+		case *rdd.StageSubmitted:
+			j := jobOf(e.Job)
+			j.tasks += e.NumTasks
+			j.stages = append(j.stages, &stage{
+				id: e.Stage, round: e.Round, rdd: e.RDD,
+				tasks: e.NumTasks, recovery: e.Recovery,
+			})
+		case *rdd.StageCompleted:
+			if s := openStage(jobOf(e.Job), e.Stage, e.Round); s != nil {
+				s.done, s.failed = true, e.Failed
+				s.failedAttempts, s.seconds = e.FailedAttempts, e.Seconds
+			}
+		case *rdd.StageResubmitted:
+			jobOf(e.Job).resubmits++
+			m.recoveryf(e.Time, "job %d: map stage of shuffle %d resubmitted (attempt %d): %s",
+				e.Job, e.Shuffle, e.Attempt, e.Reason)
+		case *rdd.TaskStart:
+			if e.Attempt > 1 {
+				jobOf(e.Job).retries++
+			}
+		case *rdd.TaskEnd:
+			if s := openStage(jobOf(e.Job), e.Stage, e.Round); s != nil {
+				s.attempts = append(s.attempts, e)
+			}
+			if !e.OK {
+				m.recoveryf(e.Time, "job %d: stage %s task %d attempt %d failed on executor %d: %s",
+					e.Job, stageLabel(e.Stage), e.Part, e.Attempt, e.Executor, e.Failure)
+			}
+		case *rdd.BlockEvicted:
+			if cur != nil {
+				cur.evictions++
+			}
+		case *rdd.FetchFailure:
+			src := "found missing"
+			if e.Injected {
+				src = "injected loss of"
+			}
+			m.recoveryf(e.Time, "job %d: stage %s task %d %s map output %d of shuffle %d",
+				e.Job, stageLabel(e.Stage), e.Part, src, e.MapPart, e.Shuffle)
+		case *rdd.ExecutorExcluded:
+			m.recoveryf(e.Time, "executor %d excluded after %d task failures", e.Executor, e.Failures)
+		case *rdd.NodeLost:
+			m.recoveryf(e.Time, "node %d lost (executors %v): cached blocks, shuffle outputs, and DFS replicas gone",
+				e.Node, e.Executors)
+		}
+	}
+	return m
+}
+
+func (m *model) recoveryf(t float64, format string, args ...any) {
+	m.recovery = append(m.recovery, recoveryEvent{time: t, desc: fmt.Sprintf(format, args...)})
+}
+
+func stageLabel(id uint64) string {
+	if id == 0 {
+		return "result"
+	}
+	return fmt.Sprintf("map(shuffle %d)", id)
+}
+
+func (m *model) render(w *os.File, withTasks bool) {
+	fmt.Fprintf(w, "event log: %d events, %d jobs, %d recovery events\n\n", m.events, len(m.jobs), len(m.recovery))
+
+	jt := metrics.NewTable("jobs", "job", "action", "stages", "tasks", "retries", "stage-reattempts", "evictions", "sim-s", "status")
+	for _, j := range m.jobs {
+		jt.AddRowf(int(j.id), j.action, len(j.stages), j.tasks, j.retries, j.resubmits, j.evictions,
+			metrics.FormatSeconds(j.seconds), jobStatus(j))
+	}
+	jt.Fprint(w)
+	fmt.Fprintln(w)
+
+	st := metrics.NewTable("stages", "job", "stage", "round", "tasks", "failed-attempts", "sim-s", "recovery", "rdd")
+	for _, j := range m.jobs {
+		for _, s := range j.stages {
+			st.AddRowf(int(j.id), stageLabel(s.id), s.round, s.tasks, s.failedAttempts,
+				metrics.FormatSeconds(s.seconds), flag3(s.recovery, s.failed, s.done), truncate(s.rdd, 48))
+		}
+	}
+	st.Fprint(w)
+	fmt.Fprintln(w)
+
+	rt := metrics.NewTable("recovery events", "sim-t", "event")
+	for _, r := range m.recovery {
+		rt.AddRowf(metrics.FormatSeconds(r.time), r.desc)
+	}
+	if len(m.recovery) == 0 {
+		rt.AddRow("-", "none: the run completed without failures")
+	}
+	rt.Fprint(w)
+
+	if withTasks {
+		fmt.Fprintln(w)
+		tt := metrics.NewTable("task attempts", "job", "stage", "round", "part", "attempt", "executor", "start-s", "dur-s", "status")
+		for _, j := range m.jobs {
+			for _, s := range j.stages {
+				for _, t := range s.attempts {
+					status := "ok"
+					if !t.OK {
+						status = "FAILED"
+					} else if t.Recovery {
+						status = "ok (recovery)"
+					}
+					tt.AddRowf(int(j.id), stageLabel(s.id), s.round, t.Part, t.Attempt, t.Executor,
+						metrics.FormatSeconds(t.StartSec), metrics.FormatSeconds(t.DurationSec), status)
+				}
+			}
+		}
+		tt.Fprint(w)
+	}
+}
+
+func jobStatus(j *job) string {
+	switch {
+	case !j.ended:
+		return "incomplete (log truncated?)"
+	case j.failed:
+		return "FAILED: " + truncate(j.errMsg, 60)
+	default:
+		return "ok"
+	}
+}
+
+// flag3 renders the stage status cell: recovery and failure are the
+// interesting states, a clean completed stage is just blank.
+func flag3(recovery, failed, done bool) string {
+	switch {
+	case failed:
+		return "FAILED"
+	case recovery:
+		return "yes"
+	case !done:
+		return "incomplete"
+	default:
+		return ""
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

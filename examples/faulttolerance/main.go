@@ -24,8 +24,10 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"os"
 
 	"sparkscore/internal/cluster"
 	"sparkscore/internal/core"
@@ -52,7 +54,15 @@ func main() {
 	}
 
 	baseline := run(ds, rdd.FaultProfile{})
-	disturbed := run(ds, chaos)
+
+	// The disturbed run narrates its own recovery through the engine's
+	// console progress listener (RecoveryOnly: routine job/stage progress is
+	// suppressed, only failures, retries, resubmissions, exclusions, and the
+	// node loss print) — the bus does the reporting, not hand-rolled hooks.
+	fmt.Println("live recovery feed of the disturbed run:")
+	disturbed := run(ds, chaos, &rdd.ConsoleProgressListener{W: os.Stdout, RecoveryOnly: true})
+	fmt.Println()
+
 	replay := run(ds, chaos)
 
 	fmt.Printf("fault tolerance: %d Monte Carlo iterations on identical data\n\n", iterations)
@@ -71,8 +81,9 @@ func main() {
 	fmt.Println()
 
 	if disturbed.fingerprint == replay.fingerprint {
-		fmt.Println("replaying the chaos run reproduced the recovery trace byte for byte:")
-		fmt.Println("every injected fault is a pure function of the configuration seed.")
+		fmt.Println("replaying the chaos run reproduced the full event log byte for byte")
+		fmt.Println("(timestamps stripped): every injected fault is a pure function of the")
+		fmt.Println("configuration seed.")
 	} else {
 		fmt.Println("WARNING: chaos replay diverged — fault injection is not deterministic")
 	}
@@ -81,7 +92,10 @@ func main() {
 	fmt.Println("recomputation and stage resubmission rebuild lost state deterministically.")
 }
 
-// outcome is one full analysis run with its recovery accounting.
+// outcome is one full analysis run with its recovery accounting. The
+// fingerprint is the run's entire event log with measured-time fields
+// stripped — a much stronger determinism witness than the per-job metrics
+// alone, since it pins every task attempt, fault, and recovery action.
 type outcome struct {
 	res          *core.Result
 	simTime      float64
@@ -91,11 +105,14 @@ type outcome struct {
 	cachedAfter  int64
 }
 
-func run(ds *data.Dataset, faults rdd.FaultProfile) outcome {
+func run(ds *data.Dataset, faults rdd.FaultProfile, extra ...rdd.Listener) outcome {
+	var logBuf bytes.Buffer
+	elw := rdd.NewEventLogWriter(&logBuf)
 	ctx, err := rdd.New(rdd.Config{
-		Cluster: cluster.Config{Nodes: 3, Spec: cluster.M3TwoXLarge},
-		Seed:    4,
-		Faults:  faults,
+		Cluster:   cluster.Config{Nodes: 3, Spec: cluster.M3TwoXLarge},
+		Seed:      4,
+		Faults:    faults,
+		Listeners: append([]rdd.Listener{elw}, extra...),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -124,10 +141,30 @@ func run(ds *data.Dataset, faults rdd.FaultProfile) outcome {
 	o.simTime = ctx.VirtualTime()
 	o.cachedAfter = ctx.CachedBytes()
 	o.stats = rdd.SummarizeRecovery(ctx.Jobs())
-	for _, m := range ctx.Jobs() {
-		o.fingerprint += fmt.Sprintf("%+v\n", m.WithoutMeasuredTime())
+	if err := elw.Close(); err != nil {
+		log.Fatal(err)
 	}
+	o.fingerprint = strippedEventLog(logBuf.Bytes())
 	return o
+}
+
+// strippedEventLog re-renders a JSONL event log with every measured-time
+// field zeroed, leaving only the reproducible structure of the run.
+func strippedEventLog(raw []byte) string {
+	events, err := rdd.ReadEventLog(bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sb bytes.Buffer
+	for _, ev := range events {
+		line, err := rdd.MarshalEvent(rdd.StripMeasuredTime(ev))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }
 
 func compare(a, b *core.Result) string {

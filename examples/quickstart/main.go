@@ -7,11 +7,14 @@
 // cluster runtime.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -trace quickstart.trace.json   # timeline for chrome://tracing
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"sparkscore/internal/cluster"
@@ -21,10 +24,21 @@ import (
 )
 
 func main() {
-	// 1. A driver context over a simulated 6-node EMR cluster.
+	traceOut := flag.String("trace", "", "write a Chrome-trace timeline of the run to this file")
+	flag.Parse()
+
+	// 1. A driver context over a simulated 6-node EMR cluster, optionally
+	// with a timeline listener recording virtual-time task spans.
+	var listeners []rdd.Listener
+	var timeline *rdd.TimelineListener
+	if *traceOut != "" {
+		timeline = rdd.NewTimelineListener()
+		listeners = append(listeners, timeline)
+	}
 	ctx, err := rdd.New(rdd.Config{
-		Cluster: cluster.Config{Nodes: 6, Spec: cluster.M3TwoXLarge},
-		Seed:    1,
+		Cluster:   cluster.Config{Nodes: 6, Spec: cluster.M3TwoXLarge},
+		Seed:      1,
+		Listeners: listeners,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -62,4 +76,19 @@ func main() {
 		fmt.Printf("%-10s %14.2f %10.4f\n", result.Sets[k].Name, result.Observed[k], result.PValues[k])
 	}
 	fmt.Printf("\nsimulated 6-node cluster time: %.1f s\n", ctx.VirtualTime())
+
+	if timeline != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := timeline.WriteChromeTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
 }

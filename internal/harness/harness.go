@@ -15,6 +15,8 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"sparkscore/internal/cluster"
@@ -43,7 +45,15 @@ type Harness struct {
 	// Seed drives data generation and resampling.
 	Seed uint64
 
+	// EventLogDir, when set, writes one JSONL event log per measured run
+	// into the directory (render with cmd/sparkui); TraceDir likewise writes
+	// one Chrome-trace timeline per run (open in chrome://tracing). Files
+	// are named run-NNN-<method><iterations> in execution order.
+	EventLogDir string
+	TraceDir    string
+
 	datasets map[dsKey]*data.Dataset
+	runSeq   int
 }
 
 type dsKey struct {
@@ -143,11 +153,20 @@ func (h *Harness) Measure(p Params) (float64, error) {
 // run executes one configuration under the given fault profile and returns
 // the driver context (for clocks and recovery accounting) plus the inference
 // result.
-func (h *Harness) run(p Params, faults rdd.FaultProfile) (*rdd.Context, *core.Result, error) {
+func (h *Harness) run(p Params, faults rdd.FaultProfile) (_ *rdd.Context, _ *core.Result, err error) {
 	ds, err := h.dataset(p)
 	if err != nil {
 		return nil, nil, err
 	}
+	observers, finish, err := h.observers(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	scale := float64(h.scale())
 	ctx, err := rdd.New(rdd.Config{
 		Cluster: cluster.Config{
@@ -167,6 +186,7 @@ func (h *Harness) run(p Params, faults rdd.FaultProfile) (*rdd.Context, *core.Re
 		Seed:                  h.Seed,
 		Faults:                faults,
 		DisableMapSideCombine: p.NoMapSideCombine,
+		Listeners:             observers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -197,6 +217,60 @@ func (h *Harness) run(p Params, faults rdd.FaultProfile) (*rdd.Context, *core.Re
 		return nil, nil, err
 	}
 	return ctx, res, nil
+}
+
+// observers builds the per-run listeners requested by EventLogDir/TraceDir
+// and returns them with a finish function that flushes the event log and
+// writes the timeline once the run is over. With neither directory set it
+// returns no listeners and a no-op finish.
+func (h *Harness) observers(p Params) ([]rdd.Listener, func() error, error) {
+	if h.EventLogDir == "" && h.TraceDir == "" {
+		return nil, func() error { return nil }, nil
+	}
+	h.runSeq++
+	tag := fmt.Sprintf("run-%03d-%s%d", h.runSeq, p.Method, p.Iterations)
+	var listeners []rdd.Listener
+	var finishers []func() error
+	if h.EventLogDir != "" {
+		f, err := os.Create(filepath.Join(h.EventLogDir, tag+".jsonl"))
+		if err != nil {
+			return nil, nil, err
+		}
+		elw := rdd.NewEventLogWriter(f)
+		listeners = append(listeners, elw)
+		finishers = append(finishers, func() error {
+			err := elw.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		})
+	}
+	if h.TraceDir != "" {
+		tl := rdd.NewTimelineListener()
+		listeners = append(listeners, tl)
+		finishers = append(finishers, func() error {
+			f, err := os.Create(filepath.Join(h.TraceDir, tag+".trace.json"))
+			if err != nil {
+				return err
+			}
+			if err := tl.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+	}
+	finish := func() error {
+		var first error
+		for _, fin := range finishers {
+			if err := fin(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return listeners, finish, nil
 }
 
 // RecoveryResult is one chaos measurement: the same configuration run

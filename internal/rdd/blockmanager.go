@@ -78,18 +78,23 @@ func (bm *blockManager) get(key blockKey) (v any, executor int, onDisk, ok bool)
 // cannot fit in memory without breaking that rule, it is dropped under
 // MEMORY_ONLY (the partition recomputes from lineage on later use) or
 // written to the executor's disk under MEMORY_AND_DISK (diskFallback).
-func (bm *blockManager) put(executor int, key blockKey, v any, bytes int64, diskFallback bool) {
+//
+// It reports whether the block was stored (and where) and which blocks were
+// evicted to make room, so the caller can publish BlockCached/BlockEvicted
+// events; the returned blocks are no longer referenced by the manager.
+func (bm *blockManager) put(executor int, key blockKey, v any, bytes int64, diskFallback bool) (stored, onDisk bool, evicted []*block) {
 	bm.mu.Lock()
 	defer bm.mu.Unlock()
 	if _, dup := bm.index[key]; dup {
-		return // another task cached this partition concurrently
+		return false, false, nil // another task cached this partition concurrently
 	}
 	st := bm.stores[executor]
 	if bytes > st.capacity {
 		if diskFallback {
 			bm.index[key] = &block{key: key, executor: executor, value: v, bytes: bytes, onDisk: true}
+			return true, true, nil
 		}
-		return
+		return false, false, nil
 	}
 	// Decide up front whether enough evictable (different-RDD) bytes exist.
 	freeable := int64(0)
@@ -101,14 +106,16 @@ func (bm *blockManager) put(executor int, key blockKey, v any, bytes int64, disk
 	if st.used-freeable+bytes > st.capacity {
 		if diskFallback {
 			bm.index[key] = &block{key: key, executor: executor, value: v, bytes: bytes, onDisk: true}
+			return true, true, nil
 		}
-		return
+		return false, false, nil
 	}
 	for e := st.lru.Back(); e != nil && st.used+bytes > st.capacity; {
 		prev := e.Prev()
 		if b := e.Value.(*block); b.key.rdd != key.rdd {
 			bm.removeLocked(b)
 			bm.evictions++
+			evicted = append(evicted, b)
 		}
 		e = prev
 	}
@@ -116,6 +123,7 @@ func (bm *blockManager) put(executor int, key blockKey, v any, bytes int64, disk
 	b.lruElem = st.lru.PushFront(b)
 	st.used += bytes
 	bm.index[key] = b
+	return true, false, evicted
 }
 
 func (bm *blockManager) removeLocked(b *block) {

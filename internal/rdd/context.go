@@ -98,6 +98,12 @@ type Config struct {
 	// injects nothing. Every decision derives from Seed, so chaos runs
 	// replay bit-for-bit.
 	Faults FaultProfile
+
+	// Listeners are registered on the context's listener bus at creation,
+	// after the built-in metrics listener, and receive every scheduler event
+	// (see Event) synchronously in deterministic order. AddListener registers
+	// more later.
+	Listeners []Listener
 }
 
 func (c Config) withDefaults() Config {
@@ -156,13 +162,23 @@ type Context struct {
 	// decision point and never advanced, so draws are order-insensitive.
 	faults *rng.RNG
 
+	// bus delivers scheduler events; metrics is the built-in listener that
+	// reconstructs JobMetrics from them (always registered first).
+	bus     *listenerBus
+	metrics *metricsListener
+
 	mu            sync.Mutex
 	clock         float64
 	nextNodeID    int
 	nextShuffleID int
 	nextJobID     uint64
 	pendingBcast  int64 // broadcast bytes not yet charged to a job
-	jobs          []JobMetrics
+
+	// activeJobs and pendingEvents buffer context-level events (node losses)
+	// raised while a job runs, so they reach the bus at a deterministic
+	// position (the next stage barrier) rather than mid-wave.
+	activeJobs    int
+	pendingEvents []Event
 
 	tasksDone int64 // lifetime completed tasks, drives failure plans
 	failPlans []*failurePlan
@@ -206,6 +222,14 @@ func New(cfg Config) (*Context, error) {
 		execFailures: map[int]int{},
 		excluded:     map[int]bool{},
 		workers:      make(chan struct{}, cfg.Workers),
+		bus:          &listenerBus{},
+		metrics:      &metricsListener{},
+	}
+	ctx.bus.add(ctx.metrics)
+	for _, l := range cfg.Listeners {
+		if l != nil {
+			ctx.bus.add(l)
+		}
 	}
 	ctx.blocks = newBlockManager(cl, cfg.StorageFraction)
 	for _, nl := range cfg.Faults.NodeLoss {
@@ -230,18 +254,23 @@ func (c *Context) VirtualTime() float64 {
 // ResetClock zeroes the virtual clock (between benchmark repetitions).
 func (c *Context) ResetClock() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.clock = 0
-	c.jobs = nil
+	c.mu.Unlock()
+	c.metrics.reset()
 }
 
-// Jobs returns metrics for every job run so far (since the last ResetClock).
+// Jobs returns metrics for every job run so far (since the last ResetClock),
+// as reconstructed from scheduler events by the built-in metrics listener.
 func (c *Context) Jobs() []JobMetrics {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]JobMetrics, len(c.jobs))
-	copy(out, c.jobs)
-	return out
+	return c.metrics.snapshot()
+}
+
+// AddListener registers a bus listener after construction; it receives every
+// subsequent scheduler event. Config.Listeners registers at creation.
+func (c *Context) AddListener(l Listener) {
+	if l != nil {
+		c.bus.add(l)
+	}
 }
 
 // FailExecutor kills an executor immediately: its cached blocks are lost and
@@ -271,6 +300,7 @@ func (c *Context) FailNode(node int) error {
 	}
 	c.shuffle.dropNode(node)
 	c.fs.DropNode(node)
+	c.postContextEvent(&NodeLost{Node: node, Executors: ids})
 	return nil
 }
 

@@ -1,0 +1,181 @@
+// The event log: a JSONL rendering of the bus, one event per line, the
+// engine's analogue of Spark's spark.eventLog JSON logs. A log written under
+// a fixed Config (Seed and FaultProfile included) is replay-stable: two runs
+// produce bit-identical logs once the fields derived from measured host time
+// are stripped (StripMeasuredTime), which is what the chaos fingerprint
+// tests compare. cmd/sparkui re-reads these logs into its text Spark-UI, as
+// the History Server replays Spark's.
+
+package rdd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// eventLogLine is the envelope of one log line: the event's type name plus
+// its fields.
+type eventLogLine struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// MarshalEvent renders one event as a single event-log line (no trailing
+// newline).
+func MarshalEvent(ev Event) ([]byte, error) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(eventLogLine{Type: ev.Name(), Data: data})
+}
+
+// UnmarshalEvent decodes one event-log line back into its typed event.
+func UnmarshalEvent(line []byte) (Event, error) {
+	var env eventLogLine
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, fmt.Errorf("rdd: malformed event-log line: %w", err)
+	}
+	factory, ok := eventFactories[env.Type]
+	if !ok {
+		return nil, fmt.Errorf("rdd: unknown event type %q", env.Type)
+	}
+	ev := factory()
+	if err := json.Unmarshal(env.Data, ev); err != nil {
+		return nil, fmt.Errorf("rdd: decoding %s event: %w", env.Type, err)
+	}
+	return ev, nil
+}
+
+// EventLogWriter is a listener that appends every bus event to w as one JSON
+// line — the analogue of enabling spark.eventLog. The first write error is
+// retained (Err) and suppresses further output; Close flushes buffering.
+type EventLogWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewEventLogWriter wraps w in an event-log listener.
+func NewEventLogWriter(w io.Writer) *EventLogWriter {
+	return &EventLogWriter{w: bufio.NewWriter(w)}
+}
+
+// OnEvent implements Listener.
+func (l *EventLogWriter) OnEvent(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	line, err := MarshalEvent(ev)
+	if err == nil {
+		_, err = l.w.Write(append(line, '\n'))
+	}
+	if err != nil {
+		l.err = err
+	}
+}
+
+// Close flushes the underlying writer and returns the first error seen.
+func (l *EventLogWriter) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// Err returns the first write or encoding error, if any.
+func (l *EventLogWriter) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// ReadEventLog decodes a JSONL event log back into typed events, skipping
+// blank lines.
+func ReadEventLog(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := UnmarshalEvent(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StripMeasuredTime returns a copy of the event with every field derived
+// from measured host time zeroed: timestamps, task spans and compute
+// seconds, stage and job durations. What remains — identities, byte
+// counters, success/failure shape — is bit-for-bit reproducible for a given
+// Config, the event-log counterpart of JobMetrics.WithoutMeasuredTime.
+func StripMeasuredTime(ev Event) Event {
+	switch e := ev.(type) {
+	case *JobEnd:
+		c := *e
+		c.Time, c.VirtualSeconds = 0, 0
+		return &c
+	case *StageCompleted:
+		c := *e
+		c.Time, c.Seconds = 0, 0
+		return &c
+	case *TaskStart:
+		c := *e
+		c.Time = 0
+		return &c
+	case *TaskEnd:
+		c := *e
+		c.Time, c.StartSec, c.DurationSec, c.ComputeSec = 0, 0, 0, 0
+		return &c
+	case *JobStart:
+		c := *e
+		c.Time = 0
+		return &c
+	case *StageSubmitted:
+		c := *e
+		c.Time = 0
+		return &c
+	case *StageResubmitted:
+		c := *e
+		c.Time = 0
+		return &c
+	case *BlockCached:
+		c := *e
+		c.Time = 0
+		return &c
+	case *BlockEvicted:
+		c := *e
+		c.Time = 0
+		return &c
+	case *FetchFailure:
+		c := *e
+		c.Time = 0
+		return &c
+	case *ExecutorExcluded:
+		c := *e
+		c.Time = 0
+		return &c
+	case *NodeLost:
+		c := *e
+		c.Time = 0
+		return &c
+	default:
+		return ev
+	}
+}

@@ -103,6 +103,8 @@ func (c *Context) maybeInjectFetchFailure(tc *taskContext, shuffle, mapParts int
 	}
 	victim := int(mix64(tc.job^uint64(shuffle)<<20^uint64(tc.part)<<8^uint64(tc.round)) % uint64(mapParts))
 	c.shuffle.drop(shuffle, victim)
+	tc.emit(&FetchFailure{Job: tc.job, Stage: tc.stage, Round: tc.round, Part: tc.part,
+		Attempt: tc.attempt, Shuffle: shuffle, MapPart: victim, Injected: true})
 	panic(&fetchFailedError{shuffle: shuffle, mapPart: victim, injected: true})
 }
 

@@ -1,0 +1,263 @@
+// Built-in bus listeners: the metrics listener that reconstructs JobMetrics
+// from events (the scheduler no longer mutates metrics directly), a timeline
+// listener rendering Chrome-trace JSON of virtual-time task spans, and an
+// opt-in console progress listener — the engine's stand-ins for the Spark
+// UI's metrics store, its event timeline, and spark.ui.showConsoleProgress.
+
+package rdd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// metricsListener rebuilds JobMetrics purely from bus events. It is always
+// registered first on the bus, so Context.Jobs keeps working with no
+// scheduler-side accumulation. Failed jobs are not recorded, matching the
+// pre-listener behaviour (an aborted action contributed neither metrics nor
+// virtual time).
+type metricsListener struct {
+	mu   sync.Mutex
+	cur  *JobMetrics
+	jobs []JobMetrics
+}
+
+func (ml *metricsListener) OnEvent(ev Event) {
+	ml.mu.Lock()
+	defer ml.mu.Unlock()
+	switch e := ev.(type) {
+	case *JobStart:
+		ml.cur = &JobMetrics{Action: e.Action, RDD: e.RDD}
+		ml.cur.VirtualSeconds += e.BroadcastSeconds
+	case *JobEnd:
+		if ml.cur != nil && !e.Failed {
+			ml.jobs = append(ml.jobs, *ml.cur)
+		}
+		ml.cur = nil
+	}
+	if ml.cur == nil {
+		return
+	}
+	jm := ml.cur
+	switch e := ev.(type) {
+	case *StageSubmitted:
+		jm.Stages++
+		jm.Tasks += e.NumTasks
+		// Result-stage re-runs (Stage 0) revisit only unfinished partitions;
+		// recomputed work means map partitions re-executed by resubmission.
+		if e.Stage != 0 && e.Recovery {
+			jm.RecomputedPartitions += e.NumTasks
+		}
+	case *StageCompleted:
+		jm.VirtualSeconds += e.Seconds
+	case *StageResubmitted:
+		jm.StageAttempts++
+	case *TaskStart:
+		if e.Attempt > 1 {
+			jm.TaskRetries++
+		}
+	case *TaskEnd:
+		m := e.Metrics
+		jm.ComputeSeconds += e.ComputeSec
+		jm.DFSBytes += m.DFSLocalBytes + m.DFSRemoteBytes
+		jm.DFSLocalBytes += m.DFSLocalBytes
+		jm.ShuffleBytes += m.ShuffleLocalBytes + m.ShuffleRemoteBytes
+		jm.ShuffleRemoteBytes += m.ShuffleRemoteBytes
+		jm.CacheReadBytes += m.CacheLocalBytes + m.CacheDiskLocalBytes + m.CacheRemoteBytes
+		jm.MaterializedBytes += m.MaterializedBytes
+		if m.MaterializedBytes > jm.PeakMaterializedBytes {
+			jm.PeakMaterializedBytes = m.MaterializedBytes
+		}
+		if m.FusedChain > jm.MaxFusedChain {
+			jm.MaxFusedChain = m.FusedChain
+		}
+		if e.Recovery {
+			jm.RecoverySeconds += e.DurationSec
+		}
+	case *BlockEvicted:
+		// Per-job eviction delta: only evictions observed during this job
+		// count, not the context's lifetime total.
+		jm.Evictions++
+	}
+}
+
+func (ml *metricsListener) snapshot() []JobMetrics {
+	ml.mu.Lock()
+	defer ml.mu.Unlock()
+	out := make([]JobMetrics, len(ml.jobs))
+	copy(out, ml.jobs)
+	return out
+}
+
+func (ml *metricsListener) reset() {
+	ml.mu.Lock()
+	ml.jobs = nil
+	ml.mu.Unlock()
+}
+
+// traceEvent is one entry of the Chrome trace-event format
+// (chrome://tracing / Perfetto): a complete span ("X"), an instant ("i"), or
+// process metadata ("M"). Timestamps are microseconds of virtual time.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TimelineListener records per-task and per-stage virtual-time spans and
+// renders them as Chrome-trace JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev) — the engine's version of the Spark UI's event
+// timeline. Each executor is a trace process whose rows are partitions; the
+// driver process (pid 0) carries stage spans and recovery instants.
+type TimelineListener struct {
+	mu    sync.Mutex
+	spans []traceEvent
+	execs map[int]bool
+}
+
+// NewTimelineListener returns an empty timeline recorder.
+func NewTimelineListener() *TimelineListener {
+	return &TimelineListener{execs: map[int]bool{}}
+}
+
+const microsecond = 1e6 // virtual seconds → trace microseconds
+
+// OnEvent implements Listener.
+func (tl *TimelineListener) OnEvent(ev Event) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	switch e := ev.(type) {
+	case *TaskEnd:
+		status := "ok"
+		if !e.OK {
+			status = "failed"
+		}
+		tl.execs[e.Executor] = true
+		tl.spans = append(tl.spans, traceEvent{
+			Name: fmt.Sprintf("job %d stage %d part %d attempt %d", e.Job, e.Stage, e.Part, e.Attempt),
+			Ph:   "X", Ts: e.StartSec * microsecond, Dur: e.DurationSec * microsecond,
+			Pid: e.Executor + 1, Tid: e.Part,
+			Args: map[string]any{"status": status, "recovery": e.Recovery, "failure": e.Failure},
+		})
+	case *StageCompleted:
+		tl.spans = append(tl.spans, traceEvent{
+			Name: fmt.Sprintf("job %d stage %d round %d: %s", e.Job, e.Stage, e.Round, e.RDD),
+			Ph:   "X", Ts: (e.Time - e.Seconds) * microsecond, Dur: e.Seconds * microsecond,
+			Pid: 0, Tid: 0,
+			Args: map[string]any{"tasks": e.NumTasks, "failedAttempts": e.FailedAttempts},
+		})
+	case *StageResubmitted:
+		tl.instant(fmt.Sprintf("resubmit shuffle %d (attempt %d)", e.Shuffle, e.Attempt), e.Time)
+	case *ExecutorExcluded:
+		tl.instant(fmt.Sprintf("executor %d excluded", e.Executor), e.Time)
+	case *NodeLost:
+		tl.instant(fmt.Sprintf("node %d lost", e.Node), e.Time)
+	}
+}
+
+func (tl *TimelineListener) instant(name string, t float64) {
+	tl.spans = append(tl.spans, traceEvent{Name: name, Ph: "i", Ts: t * microsecond, Pid: 0, Tid: 0, S: "g"})
+}
+
+// WriteChromeTrace renders the recorded timeline as a Chrome trace-event
+// JSON object.
+func (tl *TimelineListener) WriteChromeTrace(w io.Writer) error {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	events := make([]traceEvent, 0, len(tl.spans)+len(tl.execs)+1)
+	events = append(events, traceEvent{Name: "process_name", Ph: "M", Pid: 0, Args: map[string]any{"name": "driver (stages)"}})
+	ids := make([]int, 0, len(tl.execs))
+	for id := range tl.execs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		events = append(events, traceEvent{Name: "process_name", Ph: "M", Pid: id + 1, Args: map[string]any{"name": fmt.Sprintf("executor %d", id)}})
+	}
+	events = append(events, tl.spans...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events, "displayTimeUnit": "ms"})
+}
+
+// ConsoleProgressListener prints job, stage, and recovery progress as events
+// arrive — an opt-in text rendering in the spirit of Spark's console
+// progress bar. With RecoveryOnly set it stays silent until something goes
+// wrong, printing only failures, retries, resubmissions, exclusions, and
+// node losses: the right mode for chaos runs with many jobs.
+type ConsoleProgressListener struct {
+	// W receives the output; nil selects os.Stdout.
+	W io.Writer
+	// RecoveryOnly suppresses routine job/stage progress lines.
+	RecoveryOnly bool
+
+	mu sync.Mutex
+}
+
+func (cp *ConsoleProgressListener) printf(format string, args ...any) {
+	w := cp.W
+	if w == nil {
+		w = os.Stdout
+	}
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+func stageLabel(stage uint64) string {
+	if stage == 0 {
+		return "result"
+	}
+	return fmt.Sprintf("map(shuffle %d)", stage)
+}
+
+// OnEvent implements Listener.
+func (cp *ConsoleProgressListener) OnEvent(ev Event) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	switch e := ev.(type) {
+	case *JobStart:
+		if !cp.RecoveryOnly {
+			cp.printf("[job %d] %s(%s) started at t=%.3f sim-s", e.Job, e.Action, e.RDD, e.Time)
+		}
+	case *JobEnd:
+		if e.Failed {
+			cp.printf("[job %d] FAILED after %.3f sim-s: %s", e.Job, e.VirtualSeconds, e.Error)
+		} else if !cp.RecoveryOnly {
+			cp.printf("[job %d] done in %.3f sim-s", e.Job, e.VirtualSeconds)
+		}
+	case *StageSubmitted:
+		if !cp.RecoveryOnly {
+			suffix := ""
+			if e.Recovery {
+				suffix = " (recovery)"
+			}
+			cp.printf("[job %d]   stage %s: %d tasks%s", e.Job, stageLabel(e.Stage), e.NumTasks, suffix)
+		} else if e.Recovery {
+			cp.printf("[job %d] recovery: re-running %d tasks of stage %s", e.Job, e.NumTasks, stageLabel(e.Stage))
+		}
+	case *StageCompleted:
+		if !cp.RecoveryOnly {
+			cp.printf("[job %d]   stage %s done in %.3f sim-s (%d tasks, %d failed attempts)",
+				e.Job, stageLabel(e.Stage), e.Seconds, e.NumTasks, e.FailedAttempts)
+		}
+	case *StageResubmitted:
+		cp.printf("[job %d] fetch failure: resubmitting map stage of shuffle %d (attempt %d): %s",
+			e.Job, e.Shuffle, e.Attempt, e.Reason)
+	case *TaskEnd:
+		if !e.OK {
+			cp.printf("[job %d]     task %d attempt %d failed on executor %d: %s",
+				e.Job, e.Part, e.Attempt, e.Executor, e.Failure)
+		}
+	case *ExecutorExcluded:
+		cp.printf("executor %d excluded after %d task failures", e.Executor, e.Failures)
+	case *NodeLost:
+		cp.printf("node %d lost (executors %v): cached blocks, shuffle outputs, and DFS replicas gone", e.Node, e.Executors)
+	}
+}

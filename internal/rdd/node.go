@@ -111,7 +111,13 @@ func (n *node) iterate(tc *taskContext, p int) any {
 	v := n.materialize(n.compute(tc, p))
 	bytes := n.estBytes(v)
 	tc.noteMaterialized(bytes)
-	n.ctx.blocks.put(tc.executor, key, v, bytes, level == 2)
+	stored, onDisk, evicted := n.ctx.blocks.put(tc.executor, key, v, bytes, level == 2)
+	for _, b := range evicted {
+		tc.emit(&BlockEvicted{RDD: b.key.rdd, Part: b.key.part, Executor: b.executor, Bytes: b.bytes})
+	}
+	if stored {
+		tc.emit(&BlockCached{RDD: n.id, Part: p, Executor: tc.executor, Bytes: bytes, OnDisk: onDisk})
+	}
 	return n.fromSlice(v)
 }
 
@@ -193,6 +199,36 @@ type taskContext struct {
 	materializedBytes int64
 	// fusedChain is the longest fused narrow chain this task drove.
 	fusedChain int
+
+	// events buffers the events this attempt produced (cache puts,
+	// evictions, fetch failures). Tasks run concurrently, so publishing from
+	// here would race; the scheduler flushes the buffer to the bus during
+	// its deterministic accounting pass, between the attempt's TaskStart and
+	// TaskEnd.
+	events []Event
+}
+
+// emit buffers an event on the attempt; the scheduler publishes it later at
+// a deterministic log position.
+func (tc *taskContext) emit(ev Event) {
+	tc.events = append(tc.events, ev)
+}
+
+// snapshot freezes the attempt's cost counters into the TaskMetrics carried
+// by its TaskEnd event.
+func (tc *taskContext) snapshot() TaskMetrics {
+	return TaskMetrics{
+		DFSLocalBytes:       tc.dfsLocalBytes,
+		DFSRemoteBytes:      tc.dfsRemoteBytes,
+		ShuffleLocalBytes:   tc.shuffleLocalBytes,
+		ShuffleRemoteBytes:  tc.shuffleRemoteBytes,
+		CacheLocalBytes:     tc.cacheLocalBytes,
+		CacheDiskLocalBytes: tc.cacheDiskLocalBytes,
+		CacheRemoteBytes:    tc.cacheRemoteBytes,
+		ShipBytes:           tc.shipBytes,
+		MaterializedBytes:   tc.materializedBytes,
+		FusedChain:          tc.fusedChain,
+	}
 }
 
 func (tc *taskContext) node() int {

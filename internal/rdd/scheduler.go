@@ -45,7 +45,20 @@ type task struct {
 	computeSec float64
 	tc         *taskContext
 	ok         bool
+	failMsg    string // why the attempt failed (charge records only)
 }
+
+// jobRun is the driver-side state of one running job: its id, the virtual
+// clock at job start, and the virtual seconds accumulated so far. Virtual
+// event timestamps are base + virt; all metric accumulation happens in bus
+// listeners, not here.
+type jobRun struct {
+	job  uint64
+	base float64 // context clock when the job started
+	virt float64 // virtual seconds this job has accumulated
+}
+
+func (j *jobRun) now() float64 { return j.base + j.virt }
 
 // runJob executes the action on the final node. eval runs inside each result
 // task, in parallel: it receives the task context and partition index and
@@ -54,15 +67,44 @@ type task struct {
 // result under the driver lock (no internal synchronisation needed) and is
 // called at most once per partition even across stage re-attempts.
 func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, p int) any, visit func(p int, v any)) (err error) {
+	job := c.newJobID()
+	c.mu.Lock()
+	base := c.clock
+	c.activeJobs++
+	c.mu.Unlock()
+	jr := &jobRun{job: job, base: base}
+
+	// endJob publishes the terminal JobEnd exactly once — from the success
+	// path or from the deferred failure handler — after flushing buffered
+	// context events (node losses fired late in the job).
+	ended := false
+	endJob := func(failErr error) {
+		if ended {
+			return
+		}
+		ended = true
+		c.drainContextEvents(jr.now())
+		end := &JobEnd{Job: job, Action: action, RDD: final.name, VirtualSeconds: jr.virt}
+		if failErr != nil {
+			end.Failed, end.Error = true, failErr.Error()
+		}
+		c.emit(jr.now(), end)
+		c.mu.Lock()
+		c.activeJobs--
+		c.mu.Unlock()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("rdd: job %s(%s) failed: %v", action, final.name, r)
 		}
+		if err != nil {
+			endJob(err)
+		}
 	}()
 
-	jm := JobMetrics{Action: action, RDD: final.name}
-	jm.VirtualSeconds += c.chargeBroadcast()
-	job := c.newJobID()
+	bcast := c.chargeBroadcast()
+	c.emit(base, &JobStart{Job: job, Action: action, RDD: final.name, BroadcastSeconds: bcast})
+	jr.virt += bcast
 
 	resubmits := map[int]int{} // shuffle id → resubmissions so far
 	completed := make([]bool, final.parts)
@@ -96,10 +138,7 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 					tasks = append(tasks, &task{part: p, run: func(tc *taskContext) { sd.runMap(tc, p) }})
 				}
 				recovery := resubmits[sd.id] > 0
-				if recovery {
-					jm.RecomputedPartitions += len(tasks)
-				}
-				if err := c.runStage(job, uint64(sd.id), round, sd.parent, tasks, &jm, recovery); err != nil {
+				if err := c.runStage(jr, uint64(sd.id), round, sd.parent, tasks, recovery); err != nil {
 					return err
 				}
 				// Only now is the shuffle complete; marking it done before
@@ -126,7 +165,7 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 				visitMu.Unlock()
 			}})
 		}
-		return c.runStage(job, 0, round, final, tasks, &jm, round > 0)
+		return c.runStage(jr, 0, round, final, tasks, round > 0)
 	}
 
 	for round := 0; ; round++ {
@@ -148,15 +187,14 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 		if resubmits[sd.id] >= c.cfg.MaxStageAttempts {
 			return &StageAbortedError{Stage: sd.parent.name, Shuffle: sd.id, Attempts: resubmits[sd.id], Cause: ff}
 		}
-		jm.StageAttempts++
+		c.emit(jr.now(), &StageResubmitted{Job: job, Shuffle: sd.id, Attempt: resubmits[sd.id], Reason: ff.Error()})
 		sd.setDone(false)
 	}
 
-	jm.Evictions = c.blocks.evictionCount()
 	c.mu.Lock()
-	c.clock += jm.VirtualSeconds
-	c.jobs = append(c.jobs, jm)
+	c.clock += jr.virt
 	c.mu.Unlock()
+	endJob(nil)
 	return nil
 }
 
@@ -196,12 +234,13 @@ func isFetchFailure(err error) bool {
 // times. It returns a *fetchFailedError when a task found a map output
 // missing — the caller resubmits the parent map stage — and a
 // *TaskAbortedError when a task exhausted its attempts.
-func (c *Context) runStage(job, stageID uint64, round int, stageRDD *node, tasks []*task, jm *JobMetrics, recovery bool) error {
+func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node, tasks []*task, recovery bool) error {
 	if len(tasks) == 0 {
 		return nil
 	}
-	jm.Stages++
-	jm.Tasks += len(tasks)
+	job := jr.job
+	stageStart := jr.now()
+	c.emit(stageStart, &StageSubmitted{Job: job, Stage: stageID, Round: round, RDD: stageRDD.name, NumTasks: len(tasks), Recovery: recovery})
 
 	// Placement: prefer localities, balance by per-stage assignment counts.
 	// The same loads map threads through re-placements and retries so late
@@ -214,8 +253,9 @@ func (c *Context) runStage(job, stageID uint64, round int, stageRDD *node, tasks
 	c.mu.Unlock()
 
 	var (
-		charges  []*task // failed attempts, kept for virtual accounting
-		stageErr error
+		charges     []*task // failed attempts, kept for virtual accounting
+		stageErr    error
+		stageEvents []Event // executor exclusions, flushed before StageCompleted
 	)
 	wave := tasks
 	for attempt := 1; len(wave) > 0 && stageErr == nil; attempt++ {
@@ -279,32 +319,40 @@ func (c *Context) runStage(job, stageID uint64, round int, stageRDD *node, tasks
 		var retry []*task
 		for _, f := range fails {
 			t := f.t
-			charges = append(charges, &task{part: t.part, executor: t.executor, attempt: t.attempt, computeSec: t.computeSec, tc: t.tc})
+			charge := &task{part: t.part, executor: t.executor, attempt: t.attempt, computeSec: t.computeSec, tc: t.tc}
+			noteFailure := func() {
+				if ev := c.noteTaskFailure(t.executor); ev != nil {
+					stageEvents = append(stageEvents, ev)
+				}
+			}
 			switch {
 			case f.ff != nil:
 				// A fetch failure fails the stage, not the task: it does
 				// not count against the attempt budget, and recovery means
 				// resubmitting the parent map stage. Running siblings
 				// finish first (their results are kept), as in Spark.
+				charge.failMsg = f.ff.Error()
 				if stageErr == nil {
 					stageErr = f.ff
 				}
 			case t.attempt >= c.cfg.TaskMaxFailures:
-				c.noteTaskFailure(t.executor)
+				charge.failMsg = f.err.Error()
+				noteFailure()
 				if stageErr == nil || isFetchFailure(stageErr) {
 					stageErr = &TaskAbortedError{Stage: stageRDD.name, Part: t.part, Attempts: t.attempt, Cause: f.err}
 				}
 			default:
-				c.noteTaskFailure(t.executor)
+				charge.failMsg = f.err.Error()
+				noteFailure()
 				t.ok, t.tc = false, nil
 				retry = append(retry, t)
 			}
+			charges = append(charges, charge)
 		}
 		if stageErr != nil {
 			break
 		}
 		if len(retry) > 0 {
-			jm.TaskRetries += len(retry)
 			c.mu.Lock()
 			for _, t := range retry {
 				t.executor = c.placeLocked(stageRDD.preferredExecutors(t.part), loads)
@@ -316,7 +364,12 @@ func (c *Context) runStage(job, stageID uint64, round int, stageRDD *node, tasks
 
 	// Virtual accounting: greedy list scheduling of every attempt's duration
 	// — successful and failed alike, both occupied core slots — on each
-	// executor's slots; the stage barrier is the slowest executor.
+	// executor's slots; the stage barrier is the slowest executor. This pass
+	// runs in deterministic order (partitions, then failed attempts in
+	// post-mortem order), and it is where each attempt's buffered events are
+	// flushed to the bus: TaskStart at the attempt's virtual launch, then the
+	// events the task recorded while running (cache puts, evictions, fetch
+	// failures), then TaskEnd with the metrics snapshot.
 	pools := map[int]*simtime.SlotPool{}
 	makespan := 0.0
 	account := func(t *task, isRecovery bool) {
@@ -329,13 +382,21 @@ func (c *Context) runStage(job, stageID uint64, round int, stageRDD *node, tasks
 			pools[t.executor] = pool
 		}
 		dur := c.taskDuration(t)
-		if done := pool.Run(0, dur); done > makespan {
+		done := pool.Run(0, dur)
+		if done > makespan {
 			makespan = done
 		}
-		if isRecovery {
-			jm.RecoverySeconds += dur
+		start, end := stageStart+done-dur, stageStart+done
+		c.emit(start, &TaskStart{Job: job, Stage: stageID, Round: round, Part: t.part, Attempt: t.attempt, Executor: t.executor})
+		for _, ev := range t.tc.events {
+			c.emit(end, ev)
 		}
-		c.accumulate(jm, t)
+		c.emit(end, &TaskEnd{
+			Job: job, Stage: stageID, Round: round, Part: t.part, Attempt: t.attempt, Executor: t.executor,
+			OK: t.ok, Failure: t.failMsg, Recovery: isRecovery,
+			StartSec: start, DurationSec: dur, ComputeSec: t.computeSec,
+			Metrics: t.tc.snapshot(),
+		})
 	}
 	for _, t := range tasks {
 		if t.ok {
@@ -345,7 +406,20 @@ func (c *Context) runStage(job, stageID uint64, round int, stageRDD *node, tasks
 	for _, t := range charges {
 		account(t, true)
 	}
-	jm.VirtualSeconds += makespan + c.cfg.StageOverheadSec
+	// Node losses fired by plans during this stage, then executor exclusions,
+	// land at the stage barrier — a deterministic log position.
+	c.drainContextEvents(stageStart + makespan)
+	for _, ev := range stageEvents {
+		c.emit(stageStart+makespan, ev)
+	}
+	elapsed := makespan + c.cfg.StageOverheadSec
+	done := &StageCompleted{Job: job, Stage: stageID, Round: round, RDD: stageRDD.name,
+		NumTasks: len(tasks), FailedAttempts: len(charges), Seconds: elapsed}
+	if stageErr != nil {
+		done.Failed, done.Error = true, stageErr.Error()
+	}
+	c.emit(stageStart+elapsed, done)
+	jr.virt += elapsed
 	return stageErr
 }
 
@@ -386,24 +460,27 @@ func (c *Context) firePlans() {
 
 // noteTaskFailure counts a task failure against the executor; crossing the
 // Config.ExcludeAfterFailures threshold takes the executor out of scheduling
-// (Spark's blacklisting). The last schedulable executor is never excluded.
-func (c *Context) noteTaskFailure(executor int) {
+// (Spark's blacklisting) and returns the ExecutorExcluded event for the
+// caller to publish at a deterministic point. The last schedulable executor
+// is never excluded.
+func (c *Context) noteTaskFailure(executor int) *ExecutorExcluded {
 	limit := c.cfg.ExcludeAfterFailures
 	if limit <= 0 {
-		return
+		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.execFailures[executor]++
 	if c.execFailures[executor] < limit || c.excluded[executor] {
-		return
+		return nil
 	}
 	for _, id := range c.cluster.LiveExecutors() {
 		if id != executor && !c.excluded[id] {
 			c.excluded[executor] = true
-			return
+			return &ExecutorExcluded{Executor: executor, Failures: c.execFailures[executor]}
 		}
 	}
+	return nil
 }
 
 // placeLocked picks an executor: the least-loaded live, non-excluded
@@ -489,21 +566,4 @@ func (c *Context) taskDuration(t *task) float64 {
 		dur += 2 * (ws - execMemPerSlot) / diskBps
 	}
 	return dur * c.stragglerSlowdown(tc)
-}
-
-func (c *Context) accumulate(jm *JobMetrics, t *task) {
-	tc := t.tc
-	jm.ComputeSeconds += t.computeSec
-	jm.DFSBytes += tc.dfsLocalBytes + tc.dfsRemoteBytes
-	jm.DFSLocalBytes += tc.dfsLocalBytes
-	jm.ShuffleBytes += tc.shuffleLocalBytes + tc.shuffleRemoteBytes
-	jm.ShuffleRemoteBytes += tc.shuffleRemoteBytes
-	jm.CacheReadBytes += tc.cacheLocalBytes + tc.cacheDiskLocalBytes + tc.cacheRemoteBytes
-	jm.MaterializedBytes += tc.materializedBytes
-	if tc.materializedBytes > jm.PeakMaterializedBytes {
-		jm.PeakMaterializedBytes = tc.materializedBytes
-	}
-	if tc.fusedChain > jm.MaxFusedChain {
-		jm.MaxFusedChain = tc.fusedChain
-	}
 }

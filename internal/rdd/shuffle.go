@@ -123,6 +123,8 @@ func (sm *shuffleManager) read(tc *taskContext, shuffle, reducePart, mapParts in
 		mo, ok := sm.outputs[mapKey{shuffle, m}]
 		sm.mu.Unlock()
 		if !ok {
+			tc.emit(&FetchFailure{Job: tc.job, Stage: tc.stage, Round: tc.round, Part: tc.part,
+				Attempt: tc.attempt, Shuffle: shuffle, MapPart: m})
 			panic(&fetchFailedError{shuffle: shuffle, mapPart: m})
 		}
 		if mo.node == tc.node() {

@@ -5,6 +5,7 @@
 package rdd
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -140,11 +141,13 @@ func TestFusedChainRecomputeAfterNodeLoss(t *testing.T) {
 }
 
 // TestFusedChainChaosFingerprint replays a fused-chain job twice under the
-// same seeded fault profile in fresh contexts: results and recovery
-// fingerprints (JobMetrics stripped of measured time) must match bit for bit
-// through the iterator path.
+// same seeded fault profile in fresh contexts: results, recovery
+// fingerprints (JobMetrics stripped of measured time), and the JSONL event
+// log (likewise stripped) must match bit for bit through the iterator path.
 func TestFusedChainChaosFingerprint(t *testing.T) {
-	run := func() (string, string) {
+	run := func() (string, string, string) {
+		var logBuf bytes.Buffer
+		elw := NewEventLogWriter(&logBuf)
 		c, err := New(Config{
 			Cluster: cluster.Config{Nodes: 3, Spec: cluster.M3TwoXLarge},
 			Seed:    5,
@@ -152,6 +155,7 @@ func TestFusedChainChaosFingerprint(t *testing.T) {
 				TaskCrashProb:    0.05,
 				FetchFailureProb: 0.05,
 			},
+			Listeners: []Listener{elw},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -167,15 +171,21 @@ func TestFusedChainChaosFingerprint(t *testing.T) {
 		for _, m := range c.Jobs() {
 			fp += fmt.Sprintf("%+v\n", m.WithoutMeasuredTime())
 		}
-		return fmt.Sprint(sums), fp
+		if err := elw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(sums), fp, strippedLog(t, logBuf.Bytes())
 	}
-	res1, fp1 := run()
-	res2, fp2 := run()
+	res1, fp1, log1 := run()
+	res2, fp2, log2 := run()
 	if res1 != res2 {
 		t.Fatal("same seed produced different results through the fused path")
 	}
 	if fp1 != fp2 {
 		t.Fatalf("same seed produced different job fingerprints:\n%s\nvs\n%s", fp1, fp2)
+	}
+	if log1 != log2 {
+		t.Fatalf("same seed produced different event logs:\n%s\nvs\n%s", log1, log2)
 	}
 }
 
