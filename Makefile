@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke trace experiments
+.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke trace experiments
 
 # tier1 is the CI gate: formatting, vet, build, the full test suite under the
 # race detector (the recovery layer is concurrent by construction), a smoke
-# run of the streaming-execution benchmarks, and an event-log round trip
-# through the real CLIs.
-tier1: fmt vet build race bench-smoke eventlog-smoke
+# run of the streaming-execution benchmarks, an event-log round trip through
+# the real CLIs, and the job-server self-test over real HTTP.
+tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -43,6 +43,13 @@ eventlog-smoke:
 		-events $${TMPDIR:-/tmp}/sparkscore-smoke.jsonl > /dev/null
 	$(GO) run ./cmd/sparkui -log $${TMPDIR:-/tmp}/sparkscore-smoke.jsonl > /dev/null
 	@echo "eventlog-smoke: emit + reparse ok"
+
+# server-smoke starts sparkserved on a loopback port, submits score, SKAT,
+# and resampling jobs over real HTTP, asserts the responses match the batch
+# path bit for bit, and exercises queue-full backpressure (429) plus graceful
+# drain (in-flight finishes, new requests get 503).
+server-smoke:
+	$(GO) run ./cmd/sparkserved -smoke
 
 # trace runs the quickstart with a timeline listener and leaves a Chrome-trace
 # JSON next to the repo root (open in chrome://tracing or ui.perfetto.dev).

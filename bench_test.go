@@ -300,10 +300,11 @@ func TestBenchmarkRegistryMatchesPaperArtifacts(t *testing.T) {
 			t.Errorf("paper artifact %s has no experiment", id)
 		}
 	}
-	// The paper's 7 artifacts plus the chaos (lineage recovery) and combine
-	// (map-side combine ablation) experiments.
-	if len(harness.Experiments()) != 9 {
-		t.Errorf("%d canonical experiments, want 9", len(harness.Experiments()))
+	// The paper's 7 artifacts plus the chaos (lineage recovery), combine
+	// (map-side combine ablation), and serving (FIFO vs FAIR job-server
+	// latency) experiments.
+	if len(harness.Experiments()) != 10 {
+		t.Errorf("%d canonical experiments, want 10", len(harness.Experiments()))
 	}
 	_ = fmt.Sprintf // keep fmt imported alongside future debug logging
 }

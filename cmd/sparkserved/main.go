@@ -1,0 +1,204 @@
+// Command sparkserved keeps a SparkScore driver alive behind an HTTP/JSON
+// API: the dataset is staged once, and score, SKAT, and resampling requests
+// then run as concurrent jobs on the shared simulated cluster under the
+// engine's FIFO or FAIR scheduler — the repo's counterpart of serving a Spark
+// application through Livy or spark-jobserver instead of one spark-submit
+// per analysis.
+//
+//	sparkserved -generate -patients 1000 -snps 10000 -sets 100 \
+//	    -mode fair -pools '[{"name":"interactive","weight":3,"minShare":8},{"name":"batch"}]'
+//
+//	curl -s localhost:8080/v1/skat -d '{"top":5,"pool":"interactive"}'
+//	curl -s localhost:8080/v1/resample -d '{"method":"replicate","replicate":7,"pool":"batch"}'
+//
+// With -smoke it instead runs an in-process self-test: it serves on a
+// loopback port, submits score/SKAT/resampling jobs over real HTTP, asserts
+// the results match the batch path bit for bit, exercises queue-full
+// backpressure (429) and graceful drain (503), and exits non-zero on any
+// mismatch. The Makefile's server-smoke target runs exactly this.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/core"
+	"sparkscore/internal/data"
+	"sparkscore/internal/gen"
+	"sparkscore/internal/rdd"
+	"sparkscore/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
+		smoke = flag.Bool("smoke", false, "run the in-process serving self-test and exit")
+
+		dir      = flag.String("dir", "", "directory with genotypes.txt/phenotype.txt/weights.txt/snpsets.txt")
+		generate = flag.Bool("generate", false, "generate a synthetic dataset instead of reading -dir")
+		patients = flag.Int("patients", 1000, "patients for -generate")
+		snps     = flag.Int("snps", 10000, "SNPs for -generate")
+		sets     = flag.Int("sets", 100, "SNP-sets for -generate")
+
+		family  = flag.String("family", "cox", `score family: "cox", "gaussian", or "binomial"`)
+		setStat = flag.String("set-stat", "skat", `SNP-set statistic: "skat" or "burden"`)
+		seed    = flag.Uint64("seed", 1, "seed for data generation and resampling")
+		warm    = flag.Bool("warm", true, "pre-materialise and cache RDD U before serving")
+
+		nodes = flag.Int("nodes", 6, "simulated cluster nodes (m3.2xlarge)")
+		execs = flag.Int("executors-per-node", 2, "YARN containers per node")
+		cores = flag.Int("cores", 4, "cores per container")
+		mem   = flag.Float64("mem", 10, "memory per container (GiB)")
+
+		mode  = flag.String("mode", "fair", `job scheduler: "fifo" or "fair"`)
+		pools = flag.String("pools", "", `serving pools as a JSON array, or @file to read one (default: a single "default" pool)`)
+
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := server.Smoke(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sparkserved: smoke FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("server-smoke: all checks passed")
+		return
+	}
+
+	schedMode, err := rdd.ParseSchedulerMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	poolCfgs, err := loadPools(*pools)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := loadDataset(*dir, *generate, *patients, *snps, *sets, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, err := rdd.New(rdd.Config{
+		Cluster: cluster.Config{
+			Nodes: *nodes, Spec: cluster.M3TwoXLarge,
+			ExecutorsPerNode: *execs, CoresPerExecutor: *cores, MemPerExecutorGiB: *mem,
+		},
+		Seed:      *seed,
+		Scheduler: server.SchedulerConfig(schedMode, poolCfgs),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := core.StageDataset(ctx, ds, "input")
+	if err != nil {
+		fatal(err)
+	}
+	analysis, err := core.NewAnalysis(ctx, paths, core.Options{
+		Family: *family, SetStatistic: *setStat, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *warm {
+		fmt.Println("sparkserved: warming the score-contribution RDD cache ...")
+		if err := analysis.Warm(); err != nil {
+			fatal(err)
+		}
+	}
+	srv, err := server.New(server.Config{Context: ctx, Analysis: analysis, Pools: poolCfgs})
+	if err != nil {
+		fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	fmt.Printf("sparkserved: %d patients, %d SNPs, %d SNP-sets; %s scheduling, %d pools; serving on http://%s\n",
+		analysis.Patients(), ds.Genotypes.SNPs(), len(analysis.Sets()),
+		schedMode, len(poolCfgs), *addr)
+	fmt.Printf("  try: curl -s %s/v1/skat -d '{\"top\":5}'\n", "http://"+*addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("sparkserved: %s: draining (in-flight requests finish, new ones get 503) ...\n", s)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "sparkserved: drain:", err)
+		}
+		if err := hs.Shutdown(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "sparkserved: shutdown:", err)
+		}
+		fmt.Printf("sparkserved: stopped after %.1f simulated seconds over %d jobs\n",
+			ctx.VirtualTime(), len(ctx.Jobs()))
+	}
+}
+
+// loadPools parses the -pools flag: empty, inline JSON, or @file.
+func loadPools(spec string) ([]server.PoolConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(spec, "@") {
+		f, err := os.Open(spec[1:])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return server.ParsePools(f)
+	}
+	return server.ParsePools(strings.NewReader(spec))
+}
+
+func loadDataset(dir string, generate bool, patients, snps, sets int, seed uint64) (*data.Dataset, error) {
+	if generate || dir == "" {
+		return gen.Generate(gen.Config{Patients: patients, SNPs: snps, SNPSets: sets}, seed)
+	}
+	open := func(name string) (*os.File, error) { return os.Open(filepath.Join(dir, name)) }
+	ds := &data.Dataset{}
+	var err error
+	load := func(name string, read func(f *os.File) error) {
+		if err != nil {
+			return
+		}
+		var f *os.File
+		if f, err = open(name); err != nil {
+			return
+		}
+		defer f.Close()
+		err = read(f)
+	}
+	load("genotypes.txt", func(f *os.File) (e error) { ds.Genotypes, e = data.ReadGenotypes(f); return })
+	load("phenotype.txt", func(f *os.File) (e error) { ds.Phenotype, e = data.ReadPhenotype(f); return })
+	load("weights.txt", func(f *os.File) (e error) { ds.Weights, e = data.ReadWeights(f); return })
+	load("snpsets.txt", func(f *os.File) (e error) { ds.SNPSets, e = data.ReadSNPSets(f); return })
+	if err != nil {
+		return nil, err
+	}
+	if f, cerr := open("covariates.txt"); cerr == nil {
+		ds.Covariates, err = data.ReadCovariates(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ds, ds.Validate()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sparkserved:", err)
+	os.Exit(1)
+}

@@ -63,6 +63,7 @@ type stage struct {
 type job struct {
 	id        uint64
 	action    string
+	pool      string
 	rdd       string
 	tasks     int
 	retries   int
@@ -92,7 +93,6 @@ type model struct {
 func build(events []rdd.Event) *model {
 	m := &model{events: len(events)}
 	byID := map[uint64]*job{}
-	var cur *job // the running job, for events that carry no job id
 	jobOf := func(id uint64) *job {
 		if j, ok := byID[id]; ok {
 			return j
@@ -116,15 +116,11 @@ func build(events []rdd.Event) *model {
 		switch e := ev.(type) {
 		case *rdd.JobStart:
 			j := jobOf(e.Job)
-			j.action, j.rdd = e.Action, e.RDD
-			cur = j
+			j.action, j.pool, j.rdd = e.Action, e.Pool, e.RDD
 		case *rdd.JobEnd:
 			j := jobOf(e.Job)
 			j.ended, j.failed, j.errMsg = true, e.Failed, e.Error
 			j.seconds = e.VirtualSeconds
-			if cur == j {
-				cur = nil
-			}
 		case *rdd.StageSubmitted:
 			j := jobOf(e.Job)
 			j.tasks += e.NumTasks
@@ -154,8 +150,11 @@ func build(events []rdd.Event) *model {
 					e.Job, stageLabel(e.Stage), e.Part, e.Attempt, e.Executor, e.Failure)
 			}
 		case *rdd.BlockEvicted:
-			if cur != nil {
-				cur.evictions++
+			// Grouped by the event's own job id: with concurrent jobs the
+			// latest JobStart is not the evicting job. Job ids start at 1;
+			// 0 means a log from before evictions carried one.
+			if e.Job != 0 {
+				jobOf(e.Job).evictions++
 			}
 		case *rdd.FetchFailure:
 			src := "found missing"
@@ -188,9 +187,9 @@ func stageLabel(id uint64) string {
 func (m *model) render(w *os.File, withTasks bool) {
 	fmt.Fprintf(w, "event log: %d events, %d jobs, %d recovery events\n\n", m.events, len(m.jobs), len(m.recovery))
 
-	jt := metrics.NewTable("jobs", "job", "action", "stages", "tasks", "retries", "stage-reattempts", "evictions", "sim-s", "status")
+	jt := metrics.NewTable("jobs", "job", "action", "pool", "stages", "tasks", "retries", "stage-reattempts", "evictions", "sim-s", "status")
 	for _, j := range m.jobs {
-		jt.AddRowf(int(j.id), j.action, len(j.stages), j.tasks, j.retries, j.resubmits, j.evictions,
+		jt.AddRowf(int(j.id), j.action, j.pool, len(j.stages), j.tasks, j.retries, j.resubmits, j.evictions,
 			metrics.FormatSeconds(j.seconds), jobStatus(j))
 	}
 	jt.Fprint(w)

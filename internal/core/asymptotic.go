@@ -115,8 +115,12 @@ func burdenAsymptotic(model stats.Model, rows [][]data.Genotype, weights []float
 	return observed, pvalue
 }
 
-// loadWeights reads the per-SNP weight vector onto the driver (lazily).
+// loadWeights reads the per-SNP weight vector onto the driver (lazily). The
+// mutex makes the memoisation safe when the job server runs concurrent
+// analyses against one Analysis.
 func (a *Analysis) loadWeights() (data.Weights, error) {
+	a.weightsMu.Lock()
+	defer a.weightsMu.Unlock()
 	if a.weightsVec != nil {
 		return a.weightsVec, nil
 	}

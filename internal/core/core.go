@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"sparkscore/internal/data"
 	"sparkscore/internal/rdd"
@@ -117,6 +118,7 @@ type Analysis struct {
 
 	weightsRDD  *rdd.RDD[rdd.KV[int, float64]] // (snp, ω_j)
 	weightsPath string
+	weightsMu   sync.Mutex   // guards weightsVec (lazily loaded, analyses may be served concurrently)
 	weightsVec  data.Weights // lazily loaded driver-side copy
 	genoPath    string
 	setStat     stats.SetStatistic
@@ -448,6 +450,29 @@ func (a *Analysis) MonteCarlo(iterations int) (*Result, error) {
 		counter.Add(rep)
 	}
 	return a.result(observed, counter), nil
+}
+
+// Replicate computes one Monte Carlo reweighting Ũ = Σ_i Z_i U_i with
+// Z ~ N(0,1) drawn from the replicate's split of the analysis seed stream —
+// the unit of interactive resampling the job server exposes. Replicate(b)
+// returns exactly the b-th replicate MonteCarlo(B) would produce for b ≤ B,
+// so served replicates and batch runs agree. Against a Warm()ed analysis it
+// is a single cached-read job, cheap enough to serve at interactive latency.
+func (a *Analysis) Replicate(replicate uint64) ([]float64, error) {
+	u := a.warmU
+	if u == nil {
+		fgm, err := a.filteredGenotypes()
+		if err != nil {
+			return nil, err
+		}
+		u = a.contributionsRDD(fgm, a.phenotype)
+	}
+	r := rng.New(a.opts.Seed ^ 0xcafe).Split(replicate)
+	z := make([]float64, a.patients)
+	for i := range z {
+		z[i] = r.Normal()
+	}
+	return a.skatFromU(u, z)
 }
 
 func (a *Analysis) result(observed []float64, counter *stats.Counter) *Result {

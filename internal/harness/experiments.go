@@ -62,6 +62,7 @@ func Experiments() []Experiment {
 		{ID: "fig7", Title: "Figure 7 + Tables VII-VIII: container auto-tuning, 1M SNPs", Run: runFig7},
 		{ID: "chaos", Title: "Chaos: lineage recovery under node loss and task failures", Run: runChaos},
 		{ID: "combine", Title: "Combine: shuffle bytes with and without map-side combine", Run: runCombine},
+		{ID: "serving", Title: "Serving: concurrent job throughput and latency, FIFO vs FAIR", Run: runServing},
 	}
 }
 

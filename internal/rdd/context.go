@@ -99,6 +99,13 @@ type Config struct {
 	// replay bit-for-bit.
 	Faults FaultProfile
 
+	// Scheduler configures multi-job arbitration (Spark's
+	// spark.scheduler.mode and fairscheduler.xml). The zero value is FIFO
+	// with no named pools: concurrent submissions run back-to-back in
+	// arrival order, and a lone submitter observes exactly the old
+	// single-job behaviour.
+	Scheduler SchedulerConfig
+
 	// Listeners are registered on the context's listener bus at creation,
 	// after the built-in metrics listener, and receive every scheduler event
 	// (see Event) synchronously in deterministic order. AddListener registers
@@ -167,6 +174,15 @@ type Context struct {
 	bus     *listenerBus
 	metrics *metricsListener
 
+	// sched arbitrates cluster slots among concurrently running jobs.
+	sched *jobArbiter
+
+	// localPools and jobObservers hold goroutine-scoped submission
+	// properties (RunInPool, ObserveJobs), keyed by goroutine id — the Go
+	// analogue of Spark's thread-local spark.scheduler.pool.
+	localPools   sync.Map
+	jobObservers sync.Map
+
 	mu            sync.Mutex
 	clock         float64
 	nextNodeID    int
@@ -182,6 +198,12 @@ type Context struct {
 
 	tasksDone int64 // lifetime completed tasks, drives failure plans
 	failPlans []*failurePlan
+
+	// storageEpoch counts storage-loss events (executor and node failures).
+	// Result caches keyed on lineage fingerprints record the epoch they were
+	// computed under and treat any bump as invalidation, since the loss may
+	// have dropped blocks the cached result depended on.
+	storageEpoch uint64
 
 	// execFailures counts task failures per executor; crossing
 	// ExcludeAfterFailures moves the executor into excluded.
@@ -223,7 +245,8 @@ func New(cfg Config) (*Context, error) {
 		excluded:     map[int]bool{},
 		workers:      make(chan struct{}, cfg.Workers),
 		bus:          &listenerBus{},
-		metrics:      &metricsListener{},
+		metrics:      newMetricsListener(),
+		sched:        newJobArbiter(cfg.Scheduler, cfg.Seed),
 	}
 	ctx.bus.add(ctx.metrics)
 	for _, l := range cfg.Listeners {
@@ -281,6 +304,7 @@ func (c *Context) FailExecutor(id int) error {
 		return err
 	}
 	c.blocks.dropExecutor(id)
+	c.bumpStorageEpoch()
 	return nil
 }
 
@@ -300,9 +324,29 @@ func (c *Context) FailNode(node int) error {
 	}
 	c.shuffle.dropNode(node)
 	c.fs.DropNode(node)
+	c.bumpStorageEpoch()
 	c.postContextEvent(&NodeLost{Node: node, Executors: ids})
 	return nil
 }
+
+// StorageEpoch returns the current storage-loss epoch: a counter bumped on
+// every executor or node failure. Callers caching results derived from
+// cluster storage (the serving layer's lineage-fingerprint cache) record the
+// epoch at computation time and discard entries from older epochs.
+func (c *Context) StorageEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.storageEpoch
+}
+
+func (c *Context) bumpStorageEpoch() {
+	c.mu.Lock()
+	c.storageEpoch++
+	c.mu.Unlock()
+}
+
+// SchedulerMode reports the configured multi-job arbitration mode.
+func (c *Context) SchedulerMode() SchedulerMode { return c.sched.mode }
 
 // FailExecutorAfter arranges for the executor to fail once the given number
 // of further tasks have completed, injecting a failure in the middle of a

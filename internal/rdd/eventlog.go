@@ -3,8 +3,10 @@
 // a fixed Config (Seed and FaultProfile included) is replay-stable: two runs
 // produce bit-identical logs once the fields derived from measured host time
 // are stripped (StripMeasuredTime), which is what the chaos fingerprint
-// tests compare. cmd/sparkui re-reads these logs into its text Spark-UI, as
-// the History Server replays Spark's.
+// tests compare. When concurrent jobs share one log the guarantee is per job:
+// the interleaving of lines across jobs follows host timing, but each job's
+// own stripped event subsequence is bit-stable. cmd/sparkui re-reads these
+// logs into its text Spark-UI, as the History Server replays Spark's.
 
 package rdd
 
@@ -51,8 +53,13 @@ func UnmarshalEvent(line []byte) (Event, error) {
 }
 
 // EventLogWriter is a listener that appends every bus event to w as one JSON
-// line — the analogue of enabling spark.eventLog. The first write error is
-// retained (Err) and suppresses further output; Close flushes buffering.
+// line — the analogue of enabling spark.eventLog. The mutex around the JSONL
+// encoder makes it safe under interleaved jobs: concurrent jobs' events
+// interleave in the log line-by-line, never mid-line, and each line lands
+// whole. Events carry JobID, so a multi-job log regroups per job (as
+// cmd/sparkui does); within one job the event order is the bus's
+// deterministic delivery order. The first write error is retained (Err) and
+// suppresses further output; Close flushes buffering.
 type EventLogWriter struct {
 	mu  sync.Mutex
 	w   *bufio.Writer

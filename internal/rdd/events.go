@@ -57,6 +57,9 @@ type JobStart struct {
 	Job    uint64 `json:"job"`
 	Action string `json:"action"`
 	RDD    string `json:"rdd"`
+	// Pool is the scheduling pool the job was submitted to (RunInPool);
+	// empty in logs written before pools existed.
+	Pool string `json:"pool,omitempty"`
 	// BroadcastSeconds is the virtual time charged up front for pending
 	// broadcast distribution.
 	BroadcastSeconds float64 `json:"broadcastSeconds,omitempty"`
@@ -180,26 +183,31 @@ type TaskMetrics struct {
 }
 
 // BlockCached marks a partition entering the block manager (the storing half
-// of SparkListenerBlockUpdated).
+// of SparkListenerBlockUpdated). Job is the job whose task stored the block —
+// with concurrent jobs, "the currently running job" is no longer well defined,
+// so block events carry their owner explicitly.
 type BlockCached struct {
 	EventTime
-	RDD      int   `json:"rdd"`
-	Part     int   `json:"part"`
-	Executor int   `json:"executor"`
-	Bytes    int64 `json:"bytes"`
-	OnDisk   bool  `json:"onDisk,omitempty"`
+	Job      uint64 `json:"job,omitempty"`
+	RDD      int    `json:"rdd"`
+	Part     int    `json:"part"`
+	Executor int    `json:"executor"`
+	Bytes    int64  `json:"bytes"`
+	OnDisk   bool   `json:"onDisk,omitempty"`
 }
 
 func (*BlockCached) Name() string { return "BlockCached" }
 
 // BlockEvicted marks an LRU eviction making room for another RDD's block
-// (the dropping half of SparkListenerBlockUpdated).
+// (the dropping half of SparkListenerBlockUpdated). Job is the job whose task
+// caused the eviction, not the job that cached the victim.
 type BlockEvicted struct {
 	EventTime
-	RDD      int   `json:"rdd"`
-	Part     int   `json:"part"`
-	Executor int   `json:"executor"`
-	Bytes    int64 `json:"bytes"`
+	Job      uint64 `json:"job,omitempty"`
+	RDD      int    `json:"rdd"`
+	Part     int    `json:"part"`
+	Executor int    `json:"executor"`
+	Bytes    int64  `json:"bytes"`
 }
 
 func (*BlockEvicted) Name() string { return "BlockEvicted" }

@@ -17,13 +17,44 @@ import (
 
 // metricsListener rebuilds JobMetrics purely from bus events. It is always
 // registered first on the bus, so Context.Jobs keeps working with no
-// scheduler-side accumulation. Failed jobs are not recorded, matching the
-// pre-listener behaviour (an aborted action contributed neither metrics nor
-// virtual time).
+// scheduler-side accumulation. Accumulation is keyed by the event's JobID, so
+// interleaved events from concurrent jobs land on the right accumulator, and
+// a job moves into the snapshot only at its JobEnd: Context.Jobs taken while
+// jobs are in flight never exposes partially-accumulated metrics. Failed jobs
+// are not recorded, matching the pre-listener behaviour (an aborted action
+// contributed neither metrics nor virtual time).
 type metricsListener struct {
-	mu   sync.Mutex
-	cur  *JobMetrics
-	jobs []JobMetrics
+	mu     sync.Mutex
+	active map[uint64]*JobMetrics
+	jobs   []JobMetrics
+}
+
+func newMetricsListener() *metricsListener {
+	return &metricsListener{active: map[uint64]*JobMetrics{}}
+}
+
+// eventJob maps an event to the job it belongs to; 0 means no job (context
+// events like NodeLost and ExecutorExcluded).
+func eventJob(ev Event) uint64 {
+	switch e := ev.(type) {
+	case *StageSubmitted:
+		return e.Job
+	case *StageCompleted:
+		return e.Job
+	case *StageResubmitted:
+		return e.Job
+	case *TaskStart:
+		return e.Job
+	case *TaskEnd:
+		return e.Job
+	case *BlockCached:
+		return e.Job
+	case *BlockEvicted:
+		return e.Job
+	case *FetchFailure:
+		return e.Job
+	}
+	return 0
 }
 
 func (ml *metricsListener) OnEvent(ev Event) {
@@ -31,18 +62,21 @@ func (ml *metricsListener) OnEvent(ev Event) {
 	defer ml.mu.Unlock()
 	switch e := ev.(type) {
 	case *JobStart:
-		ml.cur = &JobMetrics{Action: e.Action, RDD: e.RDD}
-		ml.cur.VirtualSeconds += e.BroadcastSeconds
+		jm := &JobMetrics{Action: e.Action, RDD: e.RDD}
+		jm.VirtualSeconds += e.BroadcastSeconds
+		ml.active[e.Job] = jm
+		return
 	case *JobEnd:
-		if ml.cur != nil && !e.Failed {
-			ml.jobs = append(ml.jobs, *ml.cur)
+		if jm, ok := ml.active[e.Job]; ok && !e.Failed {
+			ml.jobs = append(ml.jobs, *jm)
 		}
-		ml.cur = nil
-	}
-	if ml.cur == nil {
+		delete(ml.active, e.Job)
 		return
 	}
-	jm := ml.cur
+	jm := ml.active[eventJob(ev)]
+	if jm == nil {
+		return
+	}
 	switch e := ev.(type) {
 	case *StageSubmitted:
 		jm.Stages++
@@ -79,7 +113,7 @@ func (ml *metricsListener) OnEvent(ev Event) {
 			jm.RecoverySeconds += e.DurationSec
 		}
 	case *BlockEvicted:
-		// Per-job eviction delta: only evictions observed during this job
+		// Per-job eviction delta: only evictions caused by this job's tasks
 		// count, not the context's lifetime total.
 		jm.Evictions++
 	}
@@ -96,6 +130,7 @@ func (ml *metricsListener) snapshot() []JobMetrics {
 func (ml *metricsListener) reset() {
 	ml.mu.Lock()
 	ml.jobs = nil
+	ml.active = map[uint64]*JobMetrics{}
 	ml.mu.Unlock()
 }
 

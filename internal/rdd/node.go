@@ -113,10 +113,10 @@ func (n *node) iterate(tc *taskContext, p int) any {
 	tc.noteMaterialized(bytes)
 	stored, onDisk, evicted := n.ctx.blocks.put(tc.executor, key, v, bytes, level == 2)
 	for _, b := range evicted {
-		tc.emit(&BlockEvicted{RDD: b.key.rdd, Part: b.key.part, Executor: b.executor, Bytes: b.bytes})
+		tc.emit(&BlockEvicted{Job: tc.job, RDD: b.key.rdd, Part: b.key.part, Executor: b.executor, Bytes: b.bytes})
 	}
 	if stored {
-		tc.emit(&BlockCached{RDD: n.id, Part: p, Executor: tc.executor, Bytes: bytes, OnDisk: onDisk})
+		tc.emit(&BlockCached{Job: tc.job, RDD: n.id, Part: p, Executor: tc.executor, Bytes: bytes, OnDisk: onDisk})
 	}
 	return n.fromSlice(v)
 }

@@ -48,13 +48,14 @@ type task struct {
 	failMsg    string // why the attempt failed (charge records only)
 }
 
-// jobRun is the driver-side state of one running job: its id, the virtual
-// clock at job start, and the virtual seconds accumulated so far. Virtual
-// event timestamps are base + virt; all metric accumulation happens in bus
-// listeners, not here.
+// jobRun is the driver-side state of one running job: its id, its scheduling
+// pool, the virtual clock at job start, and the virtual seconds accumulated
+// so far. Virtual event timestamps are base + virt; all metric accumulation
+// happens in bus listeners, not here.
 type jobRun struct {
 	job  uint64
-	base float64 // context clock when the job started
+	pool string
+	base float64 // context clock when the job was admitted
 	virt float64 // virtual seconds this job has accumulated
 }
 
@@ -67,16 +68,27 @@ func (j *jobRun) now() float64 { return j.base + j.virt }
 // result under the driver lock (no internal synchronisation needed) and is
 // called at most once per partition even across stage re-attempts.
 func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, p int) any, visit func(p int, v any)) (err error) {
+	// Admission: under FIFO this blocks until every earlier submission has
+	// ended (jobs run back-to-back on the virtual clock); under FAIR it
+	// returns immediately and the job runs on its pool's slot share. The job
+	// id and clock base are taken only after admission, so ids and start
+	// times follow admission order.
+	pool := c.currentPool()
+	c.sched.admit()
 	job := c.newJobID()
 	c.mu.Lock()
 	base := c.clock
 	c.activeJobs++
 	c.mu.Unlock()
-	jr := &jobRun{job: job, base: base}
+	c.sched.jobStarted(job, pool)
+	jr := &jobRun{job: job, pool: pool, base: base}
 
 	// endJob publishes the terminal JobEnd exactly once — from the success
 	// path or from the deferred failure handler — after flushing buffered
-	// context events (node losses fired late in the job).
+	// context events (node losses fired late in the job). A successful job
+	// advances the shared clock to its own end if the clock is not already
+	// past it (concurrent jobs overlap; the clock is the max of their ends);
+	// an aborted job contributes no virtual time, as before.
 	ended := false
 	endJob := func(failErr error) {
 		if ended {
@@ -90,8 +102,14 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 		}
 		c.emit(jr.now(), end)
 		c.mu.Lock()
+		if failErr == nil && jr.now() > c.clock {
+			c.clock = jr.now()
+		}
 		c.activeJobs--
 		c.mu.Unlock()
+		c.sched.jobEnded(job)
+		c.noteJobSpan(JobSpan{Job: job, Pool: pool, Action: action,
+			StartVirtual: jr.base, EndVirtual: jr.now(), Failed: failErr != nil})
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -103,7 +121,7 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 	}()
 
 	bcast := c.chargeBroadcast()
-	c.emit(base, &JobStart{Job: job, Action: action, RDD: final.name, BroadcastSeconds: bcast})
+	c.emit(base, &JobStart{Job: job, Action: action, RDD: final.name, Pool: pool, BroadcastSeconds: bcast})
 	jr.virt += bcast
 
 	resubmits := map[int]int{} // shuffle id → resubmissions so far
@@ -123,28 +141,40 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 					continue
 				}
 				seen[sd.id] = true
-				if sd.isDone() {
-					continue
-				}
-				if err := ensure(sd.parent); err != nil {
-					return err
-				}
-				tasks := make([]*task, 0, sd.parent.parts)
-				for p := 0; p < sd.parent.parts; p++ {
-					if c.shuffle.has(sd.id, p) {
-						continue
+				sd := sd
+				if err := func() error {
+					// Serialise with concurrent jobs sharing this lineage: a
+					// second job blocks here while the first runs the map
+					// stage, then observes done and skips it (see
+					// shuffleDep.runMu for why this cannot deadlock).
+					sd.runMu.Lock()
+					defer sd.runMu.Unlock()
+					if sd.isDone() {
+						return nil
 					}
-					p, sd := p, sd
-					tasks = append(tasks, &task{part: p, run: func(tc *taskContext) { sd.runMap(tc, p) }})
-				}
-				recovery := resubmits[sd.id] > 0
-				if err := c.runStage(jr, uint64(sd.id), round, sd.parent, tasks, recovery); err != nil {
+					if err := ensure(sd.parent); err != nil {
+						return err
+					}
+					tasks := make([]*task, 0, sd.parent.parts)
+					for p := 0; p < sd.parent.parts; p++ {
+						if c.shuffle.has(sd.id, p) {
+							continue
+						}
+						p := p
+						tasks = append(tasks, &task{part: p, run: func(tc *taskContext) { sd.runMap(tc, p) }})
+					}
+					recovery := resubmits[sd.id] > 0
+					if err := c.runStage(jr, uint64(sd.id), round, sd.parent, tasks, recovery); err != nil {
+						return err
+					}
+					// Only now is the shuffle complete; marking it done before
+					// running would make a retried job skip recomputation and
+					// read empty shuffle outputs.
+					sd.setDone(true)
+					return nil
+				}(); err != nil {
 					return err
 				}
-				// Only now is the shuffle complete; marking it done before
-				// running would make a retried job skip recomputation and
-				// read empty shuffle outputs.
-				sd.setDone(true)
 			}
 			return nil
 		}
@@ -191,9 +221,6 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 		sd.setDone(false)
 	}
 
-	c.mu.Lock()
-	c.clock += jr.virt
-	c.mu.Unlock()
 	endJob(nil)
 	return nil
 }
@@ -370,6 +397,10 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 	// flushed to the bus: TaskStart at the attempt's virtual launch, then the
 	// events the task recorded while running (cache puts, evictions, fetch
 	// failures), then TaskEnd with the metrics snapshot.
+	// Each executor contributes only the job's arbitrated slot share for this
+	// stage: all cores under FIFO or when the job runs alone, a weight- and
+	// minShare-derived fraction when FAIR jobs overlap (see jobArbiter).
+	totalSlots := c.cluster.TotalSlots()
 	pools := map[int]*simtime.SlotPool{}
 	makespan := 0.0
 	account := func(t *task, isRecovery bool) {
@@ -378,7 +409,8 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 		}
 		pool, ok := pools[t.executor]
 		if !ok {
-			pool = simtime.NewSlotPool(c.cluster.Executor(t.executor).Cores)
+			cores := c.cluster.Executor(t.executor).Cores
+			pool = simtime.NewSlotPool(c.sched.stageSlots(job, t.executor, cores, totalSlots))
 			pools[t.executor] = pool
 		}
 		dur := c.taskDuration(t)

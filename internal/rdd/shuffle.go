@@ -45,6 +45,15 @@ type shuffleDep struct {
 	// recomputes rather than silently reading nothing.
 	mu   sync.Mutex
 	done bool
+
+	// runMu serialises map-stage execution of this dependency across
+	// concurrent jobs that share the lineage: the second job blocks until the
+	// first finishes the stage, then observes done and skips it — computed at
+	// most once, never twice racing into the shuffle manager. Jobs acquire
+	// runMus strictly descendant-before-ancestor along the lineage DAG, so
+	// the acquisition order is a topological partial order and cannot
+	// deadlock.
+	runMu sync.Mutex
 }
 
 func (sd *shuffleDep) isDone() bool {

@@ -1,0 +1,687 @@
+// Package server is the SparkScore job server: a long-running driver service
+// that accepts score, SKAT, and resampling requests over HTTP/JSON and runs
+// them as concurrent jobs against one shared rdd.Context — the repo's
+// counterpart of keeping a Spark driver alive behind a REST gateway (Livy,
+// spark-jobserver) instead of spawning spark-submit per analysis.
+//
+// Three layers stack on the engine's multi-job scheduler:
+//
+//   - Scheduling: every request names a pool; the request's jobs are
+//     submitted under rdd.Context.RunInPool, so the engine's FIFO/FAIR
+//     arbiter (weight, minShare) decides how concurrent requests share the
+//     cluster's virtual core slots.
+//   - Admission: each pool additionally caps how many requests run at once
+//     and how many may queue behind them. A request beyond the queue cap is
+//     rejected immediately with 429 and a Retry-After estimated from the
+//     pool's recent service times; during drain every new request gets 503.
+//   - Caching: results are cached under a fingerprint of the request's
+//     lineage-determining parameters and revalidated against the engine's
+//     storage epoch, so injected node loss invalidates exactly the entries
+//     whose backing blocks died (see cache.go).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"sparkscore/internal/core"
+	"sparkscore/internal/rdd"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Context is the shared driver context; its SchedulerConfig decides
+	// FIFO/FAIR and the pool weights (see SchedulerConfig in pools.go).
+	Context *rdd.Context
+	// Analysis is the staged analysis every request runs against.
+	Analysis *core.Analysis
+	// Pools declares the serving pools. Requests naming an undeclared pool
+	// fall into an implicit pool with default limits, as the engine does for
+	// scheduling.
+	Pools []PoolConfig
+	// CacheEntries caps the result cache (0 selects 64).
+	CacheEntries int
+}
+
+// Server handles job requests against one Context + Analysis pair.
+type Server struct {
+	ctx      *rdd.Context
+	analysis *core.Analysis
+	cache    *resultCache
+	mux      *http.ServeMux
+
+	poolMu    sync.Mutex
+	pools     map[string]*servingPool
+	poolOrder []string
+
+	stateMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	statMu      sync.Mutex
+	reqSeq      uint64
+	rejected429 uint64
+	rejected503 uint64
+	recent      []RequestRecord
+}
+
+// New builds a Server over an already-staged analysis.
+func New(cfg Config) (*Server, error) {
+	if cfg.Context == nil || cfg.Analysis == nil {
+		return nil, fmt.Errorf("server: Config needs both Context and Analysis")
+	}
+	s := &Server{
+		ctx:      cfg.Context,
+		analysis: cfg.Analysis,
+		cache:    newResultCache(cfg.CacheEntries),
+		pools:    map[string]*servingPool{},
+	}
+	for _, p := range cfg.Pools {
+		if _, ok := s.pools[p.Name]; ok {
+			return nil, fmt.Errorf("server: duplicate pool %q", p.Name)
+		}
+		s.addPool(p)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/score", func(w http.ResponseWriter, r *http.Request) {
+		s.serveJob(w, r, "score", &scoreRequest{})
+	})
+	s.mux.HandleFunc("/v1/skat", func(w http.ResponseWriter, r *http.Request) {
+		s.serveJob(w, r, "skat", &skatRequest{})
+	})
+	s.mux.HandleFunc("/v1/resample", func(w http.ResponseWriter, r *http.Request) {
+		s.serveJob(w, r, "resample", &resampleRequest{})
+	})
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting new requests (they get 503) and blocks until every
+// in-flight request has finished, honouring ctx for a deadline. It is the
+// graceful half of shutdown; pair it with http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.stateMu.Lock()
+	s.draining = true
+	s.stateMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.draining
+}
+
+// ---- pools & admission ----
+
+type servingPool struct {
+	cfg   PoolConfig
+	slots chan struct{} // buffered to maxConcurrent; holding a token = running
+
+	mu      sync.Mutex
+	queued  int
+	served  uint64
+	ewmaSec float64 // EWMA of request wall seconds, drives Retry-After
+}
+
+func (s *Server) addPool(cfg PoolConfig) *servingPool {
+	p := &servingPool{cfg: cfg, slots: make(chan struct{}, cfg.maxConcurrent())}
+	s.pools[cfg.Name] = p
+	s.poolOrder = append(s.poolOrder, cfg.Name)
+	return p
+}
+
+// pool resolves a request's pool name, creating an implicit default-limit
+// pool on first use (empty names mean the engine's default pool).
+func (s *Server) pool(name string) *servingPool {
+	if name == "" {
+		name = rdd.DefaultPool
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if p, ok := s.pools[name]; ok {
+		return p
+	}
+	return s.addPool(PoolConfig{Name: name})
+}
+
+// httpError carries a rejection to the response writer.
+type httpError struct {
+	status     int
+	msg        string
+	retryAfter int // seconds; >0 adds a Retry-After header
+}
+
+// admit applies admission control for one request: 503 while draining, 429
+// (with Retry-After) when the pool's queue is full, otherwise it blocks until
+// a concurrency slot frees up and returns the wall seconds spent waiting.
+// The caller must invoke release() when the request finishes.
+func (s *Server) admit(p *servingPool) (queueSec float64, herr *httpError) {
+	s.stateMu.Lock()
+	if s.draining {
+		s.stateMu.Unlock()
+		s.note503()
+		return 0, &httpError{status: http.StatusServiceUnavailable, msg: "server draining"}
+	}
+	s.inflight.Add(1)
+	s.stateMu.Unlock()
+
+	select {
+	case p.slots <- struct{}{}:
+		return 0, nil
+	default:
+	}
+	p.mu.Lock()
+	if p.queued >= p.cfg.maxQueue() {
+		retry := p.retryAfterLocked()
+		p.mu.Unlock()
+		s.inflight.Done()
+		s.note429()
+		return 0, &httpError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("pool %q queue full (%d waiting)", p.cfg.Name, p.cfg.maxQueue()),
+			retryAfter: retry,
+		}
+	}
+	p.queued++
+	p.mu.Unlock()
+	start := time.Now()
+	p.slots <- struct{}{}
+	p.mu.Lock()
+	p.queued--
+	p.mu.Unlock()
+	return time.Since(start).Seconds(), nil
+}
+
+// release returns the slot and folds the request's wall time into the pool's
+// service-time estimate.
+func (s *Server) release(p *servingPool, wallSec float64) {
+	<-p.slots
+	p.mu.Lock()
+	p.served++
+	if p.ewmaSec == 0 {
+		p.ewmaSec = wallSec
+	} else {
+		p.ewmaSec = 0.7*p.ewmaSec + 0.3*wallSec
+	}
+	p.mu.Unlock()
+	s.inflight.Done()
+}
+
+// retryAfterLocked estimates when a queue slot should open: the backlog ahead
+// of the caller divided by the pool's concurrency, times the recent service
+// time. Requires p.mu.
+func (p *servingPool) retryAfterLocked() int {
+	est := p.ewmaSec
+	if est == 0 {
+		est = 1
+	}
+	backlog := float64(p.queued+len(p.slots)) / float64(p.cfg.maxConcurrent())
+	sec := int(math.Ceil(est * backlog))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Server) note429() { s.statMu.Lock(); s.rejected429++; s.statMu.Unlock() }
+func (s *Server) note503() { s.statMu.Lock(); s.rejected503++; s.statMu.Unlock() }
+
+// ---- job endpoints ----
+
+// jobRequest is one decoded POST body: where it runs, what distinguishes its
+// result, and how to compute it.
+type jobRequest interface {
+	pool() string
+	validate() error
+	// fingerprintParts lists everything (besides the server's fixed Analysis)
+	// that determines the result; the pool is deliberately absent — it moves
+	// work between queues, never changes the answer.
+	fingerprintParts(endpoint string) []string
+	run(a *core.Analysis) (any, error)
+}
+
+// Response is the envelope every job endpoint returns.
+type Response struct {
+	Request  uint64 `json:"request"`
+	Endpoint string `json:"endpoint"`
+	Pool     string `json:"pool"`
+	Cached   bool   `json:"cached"`
+	// QueueSeconds is wall time spent waiting for a pool slot.
+	QueueSeconds float64 `json:"queueSeconds"`
+	// VirtualSeconds spans the request's jobs on the simulated cluster clock
+	// (first admission to last JobEnd); VirtualQueueSeconds is how long the
+	// request waited on that clock before its first job was admitted — under
+	// FIFO this is the time spent behind other requests' jobs.
+	VirtualSeconds      float64         `json:"virtualSeconds"`
+	VirtualQueueSeconds float64         `json:"virtualQueueSeconds"`
+	Jobs                int             `json:"jobs"`
+	Result              json.RawMessage `json:"result"`
+}
+
+// RequestRecord is one finished (or rejected) request in the /v1/jobs log.
+type RequestRecord struct {
+	ID             uint64  `json:"id"`
+	Endpoint       string  `json:"endpoint"`
+	Pool           string  `json:"pool"`
+	Status         int     `json:"status"`
+	Cached         bool    `json:"cached"`
+	WallSeconds    float64 `json:"wallSeconds"`
+	QueueSeconds   float64 `json:"queueSeconds"`
+	VirtualSeconds float64 `json:"virtualSeconds"`
+	Jobs           int     `json:"jobs"`
+	Error          string  `json:"error,omitempty"`
+}
+
+const recentCap = 128
+
+func (s *Server) record(rec RequestRecord) {
+	s.statMu.Lock()
+	s.recent = append(s.recent, rec)
+	if len(s.recent) > recentCap {
+		s.recent = s.recent[len(s.recent)-recentCap:]
+	}
+	s.statMu.Unlock()
+}
+
+func (s *Server) nextRequestID() uint64 {
+	s.statMu.Lock()
+	s.reqSeq++
+	id := s.reqSeq
+	s.statMu.Unlock()
+	return id
+}
+
+// serveJob is the shared request path: decode, consult the cache, pass
+// admission control, run the work in the request's pool while observing its
+// job spans, cache, and respond.
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, endpoint string, req jobRequest) {
+	if r.Method != http.MethodPost {
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeError(w, &httpError{status: http.StatusBadRequest, msg: "bad request body: " + err.Error()})
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, &httpError{status: http.StatusBadRequest, msg: err.Error()})
+		return
+	}
+	id := s.nextRequestID()
+	poolName := req.pool()
+	if poolName == "" {
+		poolName = rdd.DefaultPool
+	}
+	resp := Response{Request: id, Endpoint: endpoint, Pool: poolName}
+
+	// A draining server rejects all new requests, cached or not: the 503 is
+	// the signal that this instance is going away.
+	if s.Draining() {
+		s.note503()
+		herr := &httpError{status: http.StatusServiceUnavailable, msg: "server draining"}
+		writeError(w, herr)
+		s.record(RequestRecord{ID: id, Endpoint: endpoint, Pool: poolName, Status: herr.status, Error: herr.msg})
+		return
+	}
+
+	fp := Fingerprint(req.fingerprintParts(endpoint)...)
+	if body, ok := s.cache.get(fp, s.ctx.StorageEpoch()); ok {
+		resp.Cached = true
+		resp.Result = body
+		writeJSON(w, http.StatusOK, resp)
+		s.record(RequestRecord{ID: id, Endpoint: endpoint, Pool: poolName, Status: http.StatusOK, Cached: true})
+		return
+	}
+
+	p := s.pool(poolName)
+	start := time.Now()
+	queueSec, herr := s.admit(p)
+	if herr != nil {
+		writeError(w, herr)
+		s.record(RequestRecord{ID: id, Endpoint: endpoint, Pool: poolName, Status: herr.status, Error: herr.msg})
+		return
+	}
+
+	clock0 := s.ctx.VirtualTime()
+	var payload any
+	spans, err := s.ctx.ObserveJobs(func() error {
+		return s.ctx.RunInPool(poolName, func() error {
+			var werr error
+			payload, werr = req.run(s.analysis)
+			return werr
+		})
+	})
+	wallSec := time.Since(start).Seconds()
+	s.release(p, wallSec)
+
+	rec := RequestRecord{
+		ID: id, Endpoint: endpoint, Pool: poolName,
+		WallSeconds: wallSec, QueueSeconds: queueSec, Jobs: len(spans),
+	}
+	if len(spans) > 0 {
+		minStart, maxEnd := spans[0].StartVirtual, spans[0].EndVirtual
+		for _, sp := range spans[1:] {
+			if sp.StartVirtual < minStart {
+				minStart = sp.StartVirtual
+			}
+			if sp.EndVirtual > maxEnd {
+				maxEnd = sp.EndVirtual
+			}
+		}
+		resp.VirtualSeconds = maxEnd - minStart
+		if vq := minStart - clock0; vq > 0 {
+			resp.VirtualQueueSeconds = vq
+		}
+	}
+	rec.VirtualSeconds = resp.VirtualSeconds
+	if err != nil {
+		rec.Status, rec.Error = http.StatusInternalServerError, err.Error()
+		s.record(rec)
+		writeError(w, &httpError{status: http.StatusInternalServerError, msg: err.Error()})
+		return
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		rec.Status, rec.Error = http.StatusInternalServerError, err.Error()
+		s.record(rec)
+		writeError(w, &httpError{status: http.StatusInternalServerError, msg: err.Error()})
+		return
+	}
+	// Stamp the entry with the epoch after the run: any blocks the result
+	// rests on were live at completion, and a later fault bumps the epoch and
+	// invalidates it.
+	s.cache.put(fp, s.ctx.StorageEpoch(), body)
+	resp.QueueSeconds = queueSec
+	resp.Jobs = len(spans)
+	resp.Result = body
+	rec.Status = http.StatusOK
+	s.record(rec)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- request types ----
+
+type scoreRequest struct {
+	PoolName string `json:"pool,omitempty"`
+	Top      int    `json:"top,omitempty"`
+}
+
+func (r *scoreRequest) pool() string { return r.PoolName }
+func (r *scoreRequest) validate() error {
+	if r.Top < 0 {
+		return fmt.Errorf("top must be >= 0")
+	}
+	return nil
+}
+func (r *scoreRequest) fingerprintParts(endpoint string) []string {
+	return []string{endpoint, fmt.Sprintf("top=%d", r.Top)}
+}
+
+// ScoreRow is one SNP's asymptotic score test in a score response.
+type ScoreRow struct {
+	SNP      int     `json:"snp"`
+	Score    float64 `json:"score"`
+	Variance float64 `json:"variance"`
+	PValue   float64 `json:"pValue"`
+}
+
+func (r *scoreRequest) run(a *core.Analysis) (any, error) {
+	results, err := a.MarginalAsymptotic()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].PValue != results[j].PValue {
+			return results[i].PValue < results[j].PValue
+		}
+		return results[i].SNP < results[j].SNP
+	})
+	if r.Top > 0 && r.Top < len(results) {
+		results = results[:r.Top]
+	}
+	rows := make([]ScoreRow, len(results))
+	for i, m := range results {
+		rows[i] = ScoreRow{SNP: m.SNP, Score: m.Score, Variance: m.Variance, PValue: m.PValue}
+	}
+	return map[string]any{"snps": rows}, nil
+}
+
+type skatRequest struct {
+	PoolName string `json:"pool,omitempty"`
+	Top      int    `json:"top,omitempty"`
+}
+
+func (r *skatRequest) pool() string { return r.PoolName }
+func (r *skatRequest) validate() error {
+	if r.Top < 0 {
+		return fmt.Errorf("top must be >= 0")
+	}
+	return nil
+}
+func (r *skatRequest) fingerprintParts(endpoint string) []string {
+	return []string{endpoint, fmt.Sprintf("top=%d", r.Top)}
+}
+
+// SKATRow is one SNP-set's asymptotic test in a skat response.
+type SKATRow struct {
+	Name     string  `json:"name"`
+	SNPs     int     `json:"snps"`
+	Observed float64 `json:"observed"`
+	PValue   float64 `json:"pValue"`
+}
+
+func (r *skatRequest) run(a *core.Analysis) (any, error) {
+	results, err := a.SetAsymptotic()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].PValue != results[j].PValue {
+			return results[i].PValue < results[j].PValue
+		}
+		return results[i].Name < results[j].Name
+	})
+	if r.Top > 0 && r.Top < len(results) {
+		results = results[:r.Top]
+	}
+	rows := make([]SKATRow, len(results))
+	for i, m := range results {
+		rows[i] = SKATRow{Name: m.Name, SNPs: m.SNPs, Observed: m.Observed, PValue: m.PValue}
+	}
+	return map[string]any{"sets": rows}, nil
+}
+
+type resampleRequest struct {
+	PoolName   string `json:"pool,omitempty"`
+	Method     string `json:"method"`
+	Iterations int    `json:"iterations,omitempty"`
+	Replicate  uint64 `json:"replicate,omitempty"`
+}
+
+func (r *resampleRequest) pool() string { return r.PoolName }
+func (r *resampleRequest) validate() error {
+	switch r.Method {
+	case "mc", "perm":
+		if r.Iterations <= 0 {
+			return fmt.Errorf("method %q needs iterations > 0", r.Method)
+		}
+	case "replicate":
+		if r.Replicate == 0 {
+			return fmt.Errorf(`method "replicate" needs replicate > 0`)
+		}
+	default:
+		return fmt.Errorf(`method must be "mc", "perm", or "replicate"`)
+	}
+	return nil
+}
+func (r *resampleRequest) fingerprintParts(endpoint string) []string {
+	return []string{endpoint, r.Method, fmt.Sprintf("iters=%d rep=%d", r.Iterations, r.Replicate)}
+}
+
+// ResampleSet is one SNP-set's line of a full resampling response.
+type ResampleSet struct {
+	Name     string  `json:"name"`
+	Observed float64 `json:"observed"`
+	Exceed   int     `json:"exceed"`
+	PValue   float64 `json:"pValue"`
+}
+
+func (r *resampleRequest) run(a *core.Analysis) (any, error) {
+	if r.Method == "replicate" {
+		stats, err := a.Replicate(r.Replicate)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(a.Sets()))
+		for k, set := range a.Sets() {
+			names[k] = set.Name
+		}
+		return map[string]any{"replicate": r.Replicate, "sets": names, "statistics": stats}, nil
+	}
+	var res *core.Result
+	var err error
+	if r.Method == "mc" {
+		res, err = a.MonteCarlo(r.Iterations)
+	} else {
+		res, err = a.Permutation(r.Iterations)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ResampleSet, len(res.Observed))
+	for k := range rows {
+		rows[k] = ResampleSet{Name: res.Sets[k].Name, Observed: res.Observed[k], Exceed: res.Exceed[k]}
+		if res.PValues != nil {
+			rows[k].PValue = res.PValues[k]
+		}
+	}
+	return map[string]any{"iterations": res.Iterations, "sets": rows}, nil
+}
+
+// ---- introspection endpoints ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"mode":        s.ctx.SchedulerMode().String(),
+		"virtualTime": s.ctx.VirtualTime(),
+	})
+}
+
+// PoolStats is one pool's line in /v1/stats.
+type PoolStats struct {
+	Name          string `json:"name"`
+	Weight        int    `json:"weight"`
+	MinShare      int    `json:"minShare"`
+	MaxConcurrent int    `json:"maxConcurrent"`
+	MaxQueue      int    `json:"maxQueue"`
+	Running       int    `json:"running"`
+	Queued        int    `json:"queued"`
+	Served        uint64 `json:"served"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.poolMu.Lock()
+	pools := make([]PoolStats, 0, len(s.poolOrder))
+	for _, name := range s.poolOrder {
+		p := s.pools[name]
+		p.mu.Lock()
+		weight := p.cfg.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		pools = append(pools, PoolStats{
+			Name: name, Weight: weight, MinShare: p.cfg.MinShare,
+			MaxConcurrent: p.cfg.maxConcurrent(), MaxQueue: p.cfg.maxQueue(),
+			Running: len(p.slots), Queued: p.queued, Served: p.served,
+		})
+		p.mu.Unlock()
+	}
+	s.poolMu.Unlock()
+	s.statMu.Lock()
+	requests, r429, r503 := s.reqSeq, s.rejected429, s.rejected503
+	s.statMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":          s.ctx.SchedulerMode().String(),
+		"draining":      s.Draining(),
+		"virtualTime":   s.ctx.VirtualTime(),
+		"storageEpoch":  s.ctx.StorageEpoch(),
+		"completedJobs": len(s.ctx.Jobs()),
+		"requests":      requests,
+		"rejected429":   r429,
+		"rejected503":   r503,
+		"pools":         pools,
+		"cache":         s.cache.stats(),
+	})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	type jobLine struct {
+		Action         string  `json:"action"`
+		RDD            string  `json:"rdd"`
+		Stages         int     `json:"stages"`
+		Tasks          int     `json:"tasks"`
+		VirtualSeconds float64 `json:"virtualSeconds"`
+	}
+	jobs := s.ctx.Jobs()
+	lines := make([]jobLine, len(jobs))
+	for i, j := range jobs {
+		lines[i] = jobLine{
+			Action: j.Action, RDD: j.RDD, Stages: j.Stages, Tasks: j.Tasks,
+			VirtualSeconds: j.VirtualSeconds,
+		}
+	}
+	s.statMu.Lock()
+	recent := make([]RequestRecord, len(s.recent))
+	copy(recent, s.recent)
+	s.statMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"completedJobs": lines,
+		"requests":      recent,
+	})
+}
+
+// ---- response helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, herr *httpError) {
+	if herr.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", herr.retryAfter))
+	}
+	writeJSON(w, herr.status, map[string]string{"error": herr.msg})
+}

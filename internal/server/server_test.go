@@ -1,0 +1,442 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/core"
+	"sparkscore/internal/gen"
+	"sparkscore/internal/rdd"
+)
+
+const testSeed = 11
+
+// newAnalysis stages the shared test dataset on a fresh context so served
+// and batch results can be compared across independent drivers.
+func newAnalysis(t *testing.T, sched rdd.SchedulerConfig) (*rdd.Context, *core.Analysis) {
+	t.Helper()
+	ds, err := gen.Generate(gen.Config{Patients: 60, SNPs: 300, SNPSets: 10}, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := rdd.New(rdd.Config{
+		Cluster: cluster.Config{
+			Nodes: 2, Spec: cluster.NodeSpec{Name: "srv", VCPUs: 8, MemGiB: 8, StorageGB: 80},
+			ExecutorsPerNode: 2, CoresPerExecutor: 2, MemPerExecutorGiB: 2,
+		},
+		Seed:      testSeed,
+		Scheduler: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := core.StageDataset(ctx, ds, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalysis(ctx, paths, core.Options{Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, a
+}
+
+func newTestServer(t *testing.T, cfgPools []PoolConfig, mode rdd.SchedulerMode) (*Server, *httptest.Server) {
+	t.Helper()
+	ctx, a := newAnalysis(t, SchedulerConfig(mode, cfgPools))
+	s, err := New(Config{Context: ctx, Analysis: a, Pools: cfgPools})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// post sends a JSON body and decodes the envelope (on 200) or returns the
+// raw response for error-path assertions.
+func post(t *testing.T, hs *httptest.Server, path string, body any) (*Response, *http.Response) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp
+	}
+	defer resp.Body.Close()
+	var env Response
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return &env, resp
+}
+
+func TestServedScoreMatchesBatch(t *testing.T) {
+	_, hs := newTestServer(t, nil, rdd.SchedFAIR)
+	env, _ := post(t, hs, "/v1/score", map[string]any{"top": 5})
+	var payload struct {
+		SNPs []ScoreRow `json:"snps"`
+	}
+	if err := json.Unmarshal(env.Result, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.SNPs) != 5 {
+		t.Fatalf("got %d rows, want 5", len(payload.SNPs))
+	}
+
+	_, batch := newAnalysis(t, rdd.SchedulerConfig{})
+	want, err := batch.MarginalAsymptotic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range payload.SNPs {
+		found := false
+		for _, m := range want {
+			if m.SNP == row.SNP {
+				found = true
+				if m.Score != row.Score || m.Variance != row.Variance || m.PValue != row.PValue {
+					t.Errorf("SNP %d: served (%v,%v,%v) != batch (%v,%v,%v)",
+						row.SNP, row.Score, row.Variance, row.PValue, m.Score, m.Variance, m.PValue)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("served SNP %d not in batch results", row.SNP)
+		}
+	}
+	if env.Jobs == 0 {
+		t.Error("score request reported zero jobs")
+	}
+}
+
+func TestServedSKATMatchesBatch(t *testing.T) {
+	_, hs := newTestServer(t, nil, rdd.SchedFAIR)
+	env, _ := post(t, hs, "/v1/skat", map[string]any{})
+	var payload struct {
+		Sets []SKATRow `json:"sets"`
+	}
+	if err := json.Unmarshal(env.Result, &payload); err != nil {
+		t.Fatal(err)
+	}
+
+	_, batch := newAnalysis(t, rdd.SchedulerConfig{})
+	want, err := batch.SetAsymptotic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Sets) != len(want) {
+		t.Fatalf("served %d sets, batch has %d", len(payload.Sets), len(want))
+	}
+	byName := map[string]SKATRow{}
+	for _, row := range payload.Sets {
+		byName[row.Name] = row
+	}
+	for _, m := range want {
+		row, ok := byName[m.Name]
+		if !ok {
+			t.Fatalf("set %q missing from served results", m.Name)
+		}
+		if row.Observed != m.Observed || row.PValue != m.PValue {
+			t.Errorf("set %s: served (%v,%v) != batch (%v,%v)",
+				m.Name, row.Observed, row.PValue, m.Observed, m.PValue)
+		}
+	}
+}
+
+func TestServedResampleMatchesBatch(t *testing.T) {
+	_, hs := newTestServer(t, nil, rdd.SchedFAIR)
+	env, _ := post(t, hs, "/v1/resample", map[string]any{"method": "mc", "iterations": 6})
+	var payload struct {
+		Iterations int           `json:"iterations"`
+		Sets       []ResampleSet `json:"sets"`
+	}
+	if err := json.Unmarshal(env.Result, &payload); err != nil {
+		t.Fatal(err)
+	}
+
+	_, batch := newAnalysis(t, rdd.SchedulerConfig{})
+	want, err := batch.MonteCarlo(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload.Iterations != want.Iterations {
+		t.Fatalf("iterations: served %d, batch %d", payload.Iterations, want.Iterations)
+	}
+	for k, row := range payload.Sets {
+		if row.Observed != want.Observed[k] || row.Exceed != want.Exceed[k] || row.PValue != want.PValues[k] {
+			t.Errorf("set %s: served (%v,%d,%v) != batch (%v,%d,%v)", row.Name,
+				row.Observed, row.Exceed, row.PValue, want.Observed[k], want.Exceed[k], want.PValues[k])
+		}
+	}
+}
+
+func TestServedReplicateMatchesBatch(t *testing.T) {
+	_, hs := newTestServer(t, nil, rdd.SchedFAIR)
+	env, _ := post(t, hs, "/v1/resample", map[string]any{"method": "replicate", "replicate": 3})
+	var payload struct {
+		Replicate  uint64    `json:"replicate"`
+		Statistics []float64 `json:"statistics"`
+	}
+	if err := json.Unmarshal(env.Result, &payload); err != nil {
+		t.Fatal(err)
+	}
+	_, batch := newAnalysis(t, rdd.SchedulerConfig{})
+	want, err := batch.Replicate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Statistics) != len(want) {
+		t.Fatalf("served %d statistics, batch %d", len(payload.Statistics), len(want))
+	}
+	for k := range want {
+		if payload.Statistics[k] != want[k] {
+			t.Errorf("set %d: served %v != batch %v", k, payload.Statistics[k], want[k])
+		}
+	}
+}
+
+func TestConcurrentRequestsFromPools(t *testing.T) {
+	pools := []PoolConfig{
+		{Name: "interactive", Weight: 3, MinShare: 4},
+		{Name: "batch", Weight: 1},
+	}
+	_, hs := newTestServer(t, pools, rdd.SchedFAIR)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		pool := "interactive"
+		if i%2 == 1 {
+			pool = "batch"
+		}
+		rep := uint64(i + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"method": "replicate", "replicate": rep, "pool": pool})
+			resp, err := http.Post(hs.URL+"/v1/resample", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("replicate %d in %s: status %d", rep, pool, resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCacheHitAndEpochInvalidation(t *testing.T) {
+	s, hs := newTestServer(t, nil, rdd.SchedFAIR)
+	req := map[string]any{"top": 3}
+	first, _ := post(t, hs, "/v1/score", req)
+	if first.Cached {
+		t.Fatal("first request reported cached")
+	}
+	second, _ := post(t, hs, "/v1/score", req)
+	if !second.Cached {
+		t.Fatal("second identical request not served from cache")
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("cached result differs from computed result")
+	}
+	// Injected executor loss bumps the storage epoch: the cached entry's
+	// backing blocks may be gone, so the next request recomputes.
+	if err := s.ctx.FailExecutor(0); err != nil {
+		t.Fatal(err)
+	}
+	third, _ := post(t, hs, "/v1/score", req)
+	if third.Cached {
+		t.Fatal("request served from cache across a storage epoch bump")
+	}
+	if !bytes.Equal(first.Result, third.Result) {
+		t.Fatal("recomputed result differs after executor loss (lineage recovery broken?)")
+	}
+	stats := s.cache.stats()
+	if stats.Invalidations != 1 {
+		t.Fatalf("cache invalidations = %d, want 1", stats.Invalidations)
+	}
+}
+
+func TestQueueFullGives429WithRetryAfter(t *testing.T) {
+	pools := []PoolConfig{{Name: "tiny", MaxConcurrent: 1, MaxQueue: -1}}
+	s, hs := newTestServer(t, pools, rdd.SchedFAIR)
+	// Occupy the pool's only slot so the next request cannot run or queue.
+	p := s.pool("tiny")
+	p.slots <- struct{}{}
+	defer func() { <-p.slots }()
+
+	_, resp := post(t, hs, "/v1/score", map[string]any{"pool": "tiny"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+}
+
+func TestDrainRejectsNewRequestsAndFinishesInFlight(t *testing.T) {
+	s, hs := newTestServer(t, nil, rdd.SchedFAIR)
+	// An in-flight request admitted before the drain must complete.
+	started := make(chan struct{})
+	inFlightOK := make(chan error, 1)
+	go func() {
+		close(started)
+		body, _ := json.Marshal(map[string]any{"method": "replicate", "replicate": 1})
+		resp, err := http.Post(hs.URL+"/v1/resample", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inFlightOK <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			inFlightOK <- fmt.Errorf("in-flight request got %d", resp.StatusCode)
+			return
+		}
+		inFlightOK <- nil
+	}()
+	<-started
+	time.Sleep(5 * time.Millisecond) // let the request pass admission
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-inFlightOK; err != nil {
+		t.Fatal(err)
+	}
+	_, resp := post(t, hs, "/v1/score", map[string]any{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status %d, want 503", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "draining" {
+		t.Fatalf("healthz status %q, want draining", health.Status)
+	}
+}
+
+func TestStatsAndJobsEndpoints(t *testing.T) {
+	pools := []PoolConfig{{Name: "interactive", Weight: 2}}
+	_, hs := newTestServer(t, pools, rdd.SchedFAIR)
+	post(t, hs, "/v1/score", map[string]any{"pool": "interactive", "top": 2})
+
+	resp, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Mode          string      `json:"mode"`
+		CompletedJobs int         `json:"completedJobs"`
+		Requests      uint64      `json:"requests"`
+		Pools         []PoolStats `json:"pools"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mode != "FAIR" {
+		t.Errorf("mode %q, want FAIR", stats.Mode)
+	}
+	if stats.CompletedJobs == 0 || stats.Requests == 0 {
+		t.Errorf("stats report no work: %+v", stats)
+	}
+	var served uint64
+	for _, p := range stats.Pools {
+		if p.Name == "interactive" {
+			served = p.Served
+		}
+	}
+	if served != 1 {
+		t.Errorf("interactive pool served = %d, want 1", served)
+	}
+
+	jresp, err := http.Get(hs.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var jobs struct {
+		Requests []RequestRecord `json:"requests"`
+	}
+	if err := json.NewDecoder(jresp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs.Requests) != 1 || jobs.Requests[0].Endpoint != "score" {
+		t.Errorf("request log = %+v, want one score entry", jobs.Requests)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, nil, rdd.SchedFIFO)
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/v1/score", `{"top": -1}`},
+		{"/v1/resample", `{"method": "bogus"}`},
+		{"/v1/resample", `{"method": "mc"}`},
+		{"/v1/resample", `{"method": "replicate"}`},
+		{"/v1/skat", `{"unknown": true}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(hs.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", c.path, c.body, resp.StatusCode)
+		}
+	}
+}
+
+func TestParsePools(t *testing.T) {
+	pools, err := ParsePools(strings.NewReader(
+		`[{"name":"interactive","weight":3,"minShare":8,"maxConcurrent":8},{"name":"batch"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 2 || pools[0].Weight != 3 || pools[0].MinShare != 8 {
+		t.Fatalf("parsed %+v", pools)
+	}
+	if pools[1].maxConcurrent() != DefaultMaxConcurrent || pools[1].maxQueue() != DefaultMaxQueue {
+		t.Fatal("defaults not applied")
+	}
+	if _, err := ParsePools(strings.NewReader(`[{"name":"a"},{"name":"a"}]`)); err == nil {
+		t.Fatal("duplicate pool accepted")
+	}
+	if _, err := ParsePools(strings.NewReader(`[{"weight":1}]`)); err == nil {
+		t.Fatal("empty pool name accepted")
+	}
+}

@@ -1,0 +1,352 @@
+// Smoke: the end-to-end serving self-test behind `sparkserved -smoke` and
+// the Makefile's server-smoke tier-1 gate. It stages a small dataset, serves
+// it on a loopback port, submits score/SKAT/resampling jobs over real HTTP,
+// and asserts the results match the batch path — an independent driver with
+// the same dataset and seed — bit for bit. It then exercises the serving
+// contracts: result-cache hits, queue-full backpressure (429 + Retry-After),
+// and graceful drain (in-flight work finishes, new requests get 503).
+//
+// The test lives in the server package, not the command, because one check
+// needs internal access: the host may have a single CPU, where a running
+// job's compute starves concurrent HTTP round trips for its whole duration,
+// so "observe the pool busy over HTTP, then probe" cannot be made
+// deterministic. Filling the pool's slot directly pins the queue-full state
+// without depending on scheduler interleaving.
+
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/core"
+	"sparkscore/internal/gen"
+	"sparkscore/internal/rdd"
+)
+
+const smokeSeed = 7
+
+// smokeAnalysis builds the smoke dataset and stages it on a fresh driver.
+func smokeAnalysis(sched rdd.SchedulerConfig) (*rdd.Context, *core.Analysis, error) {
+	ds, err := gen.Generate(gen.Config{Patients: 80, SNPs: 400, SNPSets: 8}, smokeSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, err := rdd.New(rdd.Config{
+		Cluster: cluster.Config{
+			Nodes: 2, Spec: cluster.M3TwoXLarge,
+			ExecutorsPerNode: 2, CoresPerExecutor: 4, MemPerExecutorGiB: 2,
+		},
+		Seed:      smokeSeed,
+		Scheduler: sched,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	paths, err := core.StageDataset(ctx, ds, "smoke")
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := core.NewAnalysis(ctx, paths, core.Options{Seed: smokeSeed})
+	return ctx, a, err
+}
+
+// Smoke runs the serving self-test, logging progress to out; any error means
+// the serving path and the batch path disagree or a serving contract broke.
+func Smoke(out io.Writer) error {
+	pools := []PoolConfig{
+		{Name: "interactive", Weight: 3, MinShare: 8},
+		{Name: "batch", Weight: 1},
+		{Name: "tiny", MaxConcurrent: 1, MaxQueue: -1},
+	}
+	ctx, analysis, err := smokeAnalysis(SchedulerConfig(rdd.SchedFAIR, pools))
+	if err != nil {
+		return err
+	}
+	srv, err := New(Config{Context: ctx, Analysis: analysis, Pools: pools})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "server-smoke: serving on %s (FAIR, %d pools)\n", base, len(pools))
+
+	// The batch reference: the same dataset and seed on an independent
+	// driver, queried directly — the CLI path without the CLI.
+	_, batch, err := smokeAnalysis(rdd.SchedulerConfig{})
+	if err != nil {
+		return err
+	}
+
+	steps := []struct {
+		name string
+		ok   string
+		run  func() error
+	}{
+		{"score", "score over HTTP matches batch",
+			func() error { return smokeScore(base, batch) }},
+		{"skat", "SKAT over HTTP matches batch",
+			func() error { return smokeSKAT(base, batch) }},
+		{"resample", "Monte Carlo resampling over HTTP matches batch",
+			func() error { return smokeResample(base, batch) }},
+		{"concurrent", "concurrent FAIR requests from two pools all served",
+			func() error { return smokeConcurrent(base) }},
+		{"cache", "repeated request served from the result cache",
+			func() error { return smokeCache(base) }},
+		{"backpressure", "queue-full request rejected with 429 + Retry-After",
+			func() error { return smokeBackpressure(base, srv) }},
+		{"drain", "graceful drain finished in-flight work and rejected new requests with 503",
+			func() error { return smokeDrain(base, srv) }},
+	}
+	for _, step := range steps {
+		if err := step.run(); err != nil {
+			return fmt.Errorf("%s: %w", step.name, err)
+		}
+		fmt.Fprintf(out, "server-smoke: %s\n", step.ok)
+	}
+	return nil
+}
+
+// postJSON posts a request body and returns the HTTP response plus the
+// decoded envelope when the status is 200.
+func postJSON(base, path string, body any) (*http.Response, *Response, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp, nil, nil
+	}
+	defer resp.Body.Close()
+	var env Response
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return resp, &env, nil
+}
+
+func mustOK(resp *http.Response, env *Response, err error) (*Response, error) {
+	if err != nil {
+		return nil, err
+	}
+	if env == nil {
+		return nil, fmt.Errorf("status %d, want 200", resp.StatusCode)
+	}
+	return env, nil
+}
+
+func smokeScore(base string, batch *core.Analysis) error {
+	env, err := mustOK(postJSON(base, "/v1/score", map[string]any{"pool": "interactive"}))
+	if err != nil {
+		return err
+	}
+	var payload struct {
+		SNPs []ScoreRow `json:"snps"`
+	}
+	if err := json.Unmarshal(env.Result, &payload); err != nil {
+		return err
+	}
+	want, err := batch.MarginalAsymptotic()
+	if err != nil {
+		return err
+	}
+	if len(payload.SNPs) != len(want) {
+		return fmt.Errorf("served %d SNPs, batch %d", len(payload.SNPs), len(want))
+	}
+	bySNP := map[int]ScoreRow{}
+	for _, r := range payload.SNPs {
+		bySNP[r.SNP] = r
+	}
+	for _, m := range want {
+		r, ok := bySNP[m.SNP]
+		if !ok {
+			return fmt.Errorf("SNP %d missing from served results", m.SNP)
+		}
+		if r.Score != m.Score || r.Variance != m.Variance || r.PValue != m.PValue {
+			return fmt.Errorf("SNP %d: served (%v,%v,%v) != batch (%v,%v,%v)",
+				m.SNP, r.Score, r.Variance, r.PValue, m.Score, m.Variance, m.PValue)
+		}
+	}
+	return nil
+}
+
+func smokeSKAT(base string, batch *core.Analysis) error {
+	env, err := mustOK(postJSON(base, "/v1/skat", map[string]any{"pool": "interactive"}))
+	if err != nil {
+		return err
+	}
+	var payload struct {
+		Sets []SKATRow `json:"sets"`
+	}
+	if err := json.Unmarshal(env.Result, &payload); err != nil {
+		return err
+	}
+	want, err := batch.SetAsymptotic()
+	if err != nil {
+		return err
+	}
+	if len(payload.Sets) != len(want) {
+		return fmt.Errorf("served %d sets, batch %d", len(payload.Sets), len(want))
+	}
+	byName := map[string]SKATRow{}
+	for _, r := range payload.Sets {
+		byName[r.Name] = r
+	}
+	for _, m := range want {
+		r, ok := byName[m.Name]
+		if !ok {
+			return fmt.Errorf("set %q missing from served results", m.Name)
+		}
+		if r.Observed != m.Observed || r.PValue != m.PValue {
+			return fmt.Errorf("set %s: served (%v,%v) != batch (%v,%v)",
+				m.Name, r.Observed, r.PValue, m.Observed, m.PValue)
+		}
+	}
+	return nil
+}
+
+func smokeResample(base string, batch *core.Analysis) error {
+	env, err := mustOK(postJSON(base, "/v1/resample",
+		map[string]any{"method": "mc", "iterations": 8, "pool": "batch"}))
+	if err != nil {
+		return err
+	}
+	var payload struct {
+		Iterations int           `json:"iterations"`
+		Sets       []ResampleSet `json:"sets"`
+	}
+	if err := json.Unmarshal(env.Result, &payload); err != nil {
+		return err
+	}
+	want, err := batch.MonteCarlo(8)
+	if err != nil {
+		return err
+	}
+	if payload.Iterations != want.Iterations || len(payload.Sets) != len(want.Observed) {
+		return fmt.Errorf("served %d iterations over %d sets, batch %d over %d",
+			payload.Iterations, len(payload.Sets), want.Iterations, len(want.Observed))
+	}
+	for k, r := range payload.Sets {
+		if r.Observed != want.Observed[k] || r.Exceed != want.Exceed[k] || r.PValue != want.PValues[k] {
+			return fmt.Errorf("set %s: served (%v,%d,%v) != batch (%v,%d,%v)", r.Name,
+				r.Observed, r.Exceed, r.PValue, want.Observed[k], want.Exceed[k], want.PValues[k])
+		}
+	}
+	return nil
+}
+
+func smokeConcurrent(base string) error {
+	errs := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		pool := "interactive"
+		if i%2 == 1 {
+			pool = "batch"
+		}
+		rep := i + 1
+		go func() {
+			_, err := mustOK(postJSON(base, "/v1/resample",
+				map[string]any{"method": "replicate", "replicate": rep, "pool": pool}))
+			if err != nil {
+				err = fmt.Errorf("replicate %d in %s: %w", rep, pool, err)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func smokeCache(base string) error {
+	req := map[string]any{"top": 3, "pool": "interactive"}
+	first, err := mustOK(postJSON(base, "/v1/skat", req))
+	if err != nil {
+		return err
+	}
+	second, err := mustOK(postJSON(base, "/v1/skat", req))
+	if err != nil {
+		return err
+	}
+	if !second.Cached {
+		return fmt.Errorf("repeated request not served from cache")
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		return fmt.Errorf("cached result differs from computed result")
+	}
+	return nil
+}
+
+// smokeBackpressure pins the "tiny" pool (one slot, no queue) full by taking
+// its slot directly, then asserts a request over HTTP bounces with 429.
+func smokeBackpressure(base string, srv *Server) error {
+	p := srv.pool("tiny")
+	p.slots <- struct{}{}
+	defer func() { <-p.slots }()
+	// top=2 has not been requested yet in this run, so the probe cannot be
+	// answered from the result cache and must face admission control.
+	resp, env, err := postJSON(base, "/v1/score", map[string]any{"pool": "tiny", "top": 2})
+	if err != nil {
+		return err
+	}
+	if env != nil || resp.StatusCode != http.StatusTooManyRequests {
+		return fmt.Errorf("request into a full pool got status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("429 response missing Retry-After header")
+	}
+	return nil
+}
+
+// smokeDrain verifies the shutdown contract: a request admitted before the
+// drain completes with 200, the drain waits for it, and requests arriving
+// after get 503.
+func smokeDrain(base string, srv *Server) error {
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := mustOK(postJSON(base, "/v1/resample",
+			map[string]any{"method": "perm", "iterations": 60, "pool": "batch"}))
+		slowDone <- err
+	}()
+	// Admission is the first thing the handler does, well before any compute;
+	// parking here hands it the CPU, so by the time Drain flips the flag the
+	// request is in flight and the drain must wait for it.
+	time.Sleep(50 * time.Millisecond)
+	dctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		return fmt.Errorf("Drain: %w", err)
+	}
+	if err := <-slowDone; err != nil {
+		return fmt.Errorf("in-flight request during drain: %w", err)
+	}
+	resp, env, err := postJSON(base, "/v1/score", map[string]any{})
+	if err != nil {
+		return err
+	}
+	if env != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("post-drain request got status %d, want 503", resp.StatusCode)
+	}
+	return nil
+}
