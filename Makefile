@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke trace experiments
+.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke speculation-smoke trace experiments
 
 # tier1 is the CI gate: formatting, vet, build, the full test suite under the
 # race detector (the recovery layer is concurrent by construction), a smoke
 # run of the streaming-execution benchmarks, an event-log round trip through
-# the real CLIs, and the job-server self-test over real HTTP.
-tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke
+# the real CLIs, the job-server self-test over real HTTP (including deadline
+# cancellation freeing its pool slot), and the speculation ablation's >= 3x
+# straggler-mitigation claim.
+tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke speculation-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -46,10 +48,17 @@ eventlog-smoke:
 
 # server-smoke starts sparkserved on a loopback port, submits score, SKAT,
 # and resampling jobs over real HTTP, asserts the responses match the batch
-# path bit for bit, and exercises queue-full backpressure (429) plus graceful
-# drain (in-flight finishes, new requests get 503).
+# path bit for bit, and exercises queue-full backpressure (429 + Retry-After),
+# deadline cancellation (timeout_ms -> 408, slot freed, next request matches
+# batch), and graceful drain (in-flight finishes, new requests get 503).
 server-smoke:
 	$(GO) run ./cmd/sparkserved -smoke
+
+# speculation-smoke runs the speculation ablation at small scale; the harness
+# itself fails unless speculative copies beat the 8x-straggler baseline by at
+# least 3x while launching no copies on straggler-free runs.
+speculation-smoke:
+	$(GO) run ./cmd/benchtab -exp speculation
 
 # trace runs the quickstart with a timeline listener and leaves a Chrome-trace
 # JSON next to the repo root (open in chrome://tracing or ui.perfetto.dev).

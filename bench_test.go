@@ -301,10 +301,10 @@ func TestBenchmarkRegistryMatchesPaperArtifacts(t *testing.T) {
 		}
 	}
 	// The paper's 7 artifacts plus the chaos (lineage recovery), combine
-	// (map-side combine ablation), and serving (FIFO vs FAIR job-server
-	// latency) experiments.
-	if len(harness.Experiments()) != 10 {
-		t.Errorf("%d canonical experiments, want 10", len(harness.Experiments()))
+	// (map-side combine ablation), serving (FIFO vs FAIR job-server
+	// latency), and speculation (straggler mitigation) experiments.
+	if len(harness.Experiments()) != 11 {
+		t.Errorf("%d canonical experiments, want 11", len(harness.Experiments()))
 	}
 	_ = fmt.Sprintf // keep fmt imported alongside future debug logging
 }

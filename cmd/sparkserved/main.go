@@ -11,11 +11,20 @@
 //	curl -s localhost:8080/v1/skat -d '{"top":5,"pool":"interactive"}'
 //	curl -s localhost:8080/v1/resample -d '{"method":"replicate","replicate":7,"pool":"batch"}'
 //
+// Every job endpoint accepts timeout_ms, a server-side deadline on the whole
+// request; past it (or on client disconnect) the running job is cancelled at
+// its next task boundary, the pool slot is freed, and the request is
+// answered 408 Request Timeout with a Retry-After (a disconnect is recorded
+// as 499 in /v1/jobs and /v1/stats). Cancellation leaves the shared driver
+// reusable: subsequent requests still match the batch CLI bit for bit.
+//
 // With -smoke it instead runs an in-process self-test: it serves on a
 // loopback port, submits score/SKAT/resampling jobs over real HTTP, asserts
 // the results match the batch path bit for bit, exercises queue-full
-// backpressure (429) and graceful drain (503), and exits non-zero on any
-// mismatch. The Makefile's server-smoke target runs exactly this.
+// backpressure (429), timeout_ms cancellation (408 within the deadline, slot
+// freed, next request bit-equal to batch), and graceful drain (503), and
+// exits non-zero on any mismatch. The Makefile's server-smoke target runs
+// exactly this.
 package main
 
 import (

@@ -61,19 +61,22 @@ type stage struct {
 
 // job is one action's accounting, rebuilt from its events.
 type job struct {
-	id        uint64
-	action    string
-	pool      string
-	rdd       string
-	tasks     int
-	retries   int
-	resubmits int
-	evictions int
-	seconds   float64
-	ended     bool
-	failed    bool
-	errMsg    string
-	stages    []*stage
+	id         uint64
+	action     string
+	pool       string
+	rdd        string
+	tasks      int
+	retries    int
+	resubmits  int
+	evictions  int
+	speculated int
+	killed     int
+	seconds    float64
+	ended      bool
+	failed     bool
+	cancelled  bool
+	errMsg     string
+	stages     []*stage
 }
 
 // recoveryEvent is one row of the recovery table: anything the fault-recovery
@@ -120,7 +123,18 @@ func build(events []rdd.Event) *model {
 		case *rdd.JobEnd:
 			j := jobOf(e.Job)
 			j.ended, j.failed, j.errMsg = true, e.Failed, e.Error
+			j.cancelled = e.Cancelled
 			j.seconds = e.VirtualSeconds
+		case *rdd.JobCancelled:
+			m.recoveryf(e.Time, "job %d: cancelled %s(%s): %s", e.Job, e.Action, e.RDD, e.Reason)
+		case *rdd.SpeculativeTaskLaunched:
+			jobOf(e.Job).speculated++
+			m.recoveryf(e.Time, "job %d: stage %s task %d speculated on executor %d (original on %d)",
+				e.Job, stageLabel(e.Stage), e.Part, e.Executor, e.Original)
+		case *rdd.TaskKilled:
+			jobOf(e.Job).killed++
+			m.recoveryf(e.Time, "job %d: stage %s task %d attempt %d killed on executor %d: %s",
+				e.Job, stageLabel(e.Stage), e.Part, e.Attempt, e.Executor, e.Reason)
 		case *rdd.StageSubmitted:
 			j := jobOf(e.Job)
 			j.tasks += e.NumTasks
@@ -145,7 +159,9 @@ func build(events []rdd.Event) *model {
 			if s := openStage(jobOf(e.Job), e.Stage, e.Round); s != nil {
 				s.attempts = append(s.attempts, e)
 			}
-			if !e.OK {
+			// A killed original is not a failure; its TaskKilled event
+			// already carries the recovery row.
+			if !e.OK && !e.Killed {
 				m.recoveryf(e.Time, "job %d: stage %s task %d attempt %d failed on executor %d: %s",
 					e.Job, stageLabel(e.Stage), e.Part, e.Attempt, e.Executor, e.Failure)
 			}
@@ -187,10 +203,10 @@ func stageLabel(id uint64) string {
 func (m *model) render(w *os.File, withTasks bool) {
 	fmt.Fprintf(w, "event log: %d events, %d jobs, %d recovery events\n\n", m.events, len(m.jobs), len(m.recovery))
 
-	jt := metrics.NewTable("jobs", "job", "action", "pool", "stages", "tasks", "retries", "stage-reattempts", "evictions", "sim-s", "status")
+	jt := metrics.NewTable("jobs", "job", "action", "pool", "stages", "tasks", "retries", "stage-reattempts", "evictions", "spec-copies", "killed", "sim-s", "status")
 	for _, j := range m.jobs {
 		jt.AddRowf(int(j.id), j.action, j.pool, len(j.stages), j.tasks, j.retries, j.resubmits, j.evictions,
-			metrics.FormatSeconds(j.seconds), jobStatus(j))
+			j.speculated, j.killed, metrics.FormatSeconds(j.seconds), jobStatus(j))
 	}
 	jt.Fprint(w)
 	fmt.Fprintln(w)
@@ -216,17 +232,26 @@ func (m *model) render(w *os.File, withTasks bool) {
 
 	if withTasks {
 		fmt.Fprintln(w)
-		tt := metrics.NewTable("task attempts", "job", "stage", "round", "part", "attempt", "executor", "start-s", "dur-s", "status")
+		tt := metrics.NewTable("task attempts", "job", "stage", "round", "part", "attempt", "kind", "executor", "start-s", "dur-s", "status")
 		for _, j := range m.jobs {
 			for _, s := range j.stages {
 				for _, t := range s.attempts {
+					kind := "orig"
+					if t.Speculative {
+						kind = "spec"
+					}
 					status := "ok"
-					if !t.OK {
+					switch {
+					case t.Killed:
+						status = "killed (copy won)"
+					case !t.OK:
 						status = "FAILED"
-					} else if t.Recovery {
+					case t.Speculative:
+						status = "ok (won)"
+					case t.Recovery:
 						status = "ok (recovery)"
 					}
-					tt.AddRowf(int(j.id), stageLabel(s.id), s.round, t.Part, t.Attempt, t.Executor,
+					tt.AddRowf(int(j.id), stageLabel(s.id), s.round, t.Part, t.Attempt, kind, t.Executor,
 						metrics.FormatSeconds(t.StartSec), metrics.FormatSeconds(t.DurationSec), status)
 				}
 			}
@@ -239,6 +264,8 @@ func jobStatus(j *job) string {
 	switch {
 	case !j.ended:
 		return "incomplete (log truncated?)"
+	case j.cancelled:
+		return "CANCELLED"
 	case j.failed:
 		return "FAILED: " + truncate(j.errMsg, 60)
 	default:

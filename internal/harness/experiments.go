@@ -63,6 +63,7 @@ func Experiments() []Experiment {
 		{ID: "chaos", Title: "Chaos: lineage recovery under node loss and task failures", Run: runChaos},
 		{ID: "combine", Title: "Combine: shuffle bytes with and without map-side combine", Run: runCombine},
 		{ID: "serving", Title: "Serving: concurrent job throughput and latency, FIFO vs FAIR", Run: runServing},
+		{ID: "speculation", Title: "Speculation: stage wall-clock with 8x stragglers, speculative copies on/off", Run: runSpeculation},
 	}
 }
 

@@ -52,6 +52,10 @@ type Harness struct {
 	EventLogDir string
 	TraceDir    string
 
+	// SpeculationJSON, when set, makes the speculation experiment write its
+	// grid as a JSON snapshot to this path (benchtab's -json flag).
+	SpeculationJSON string
+
 	datasets map[dsKey]*data.Dataset
 	runSeq   int
 }

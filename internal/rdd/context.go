@@ -99,6 +99,10 @@ type Config struct {
 	// replay bit-for-bit.
 	Faults FaultProfile
 
+	// Speculation configures Spark-style speculative execution of straggler
+	// tasks (spark.speculation.*). The zero value disables it.
+	Speculation SpeculationConfig
+
 	// Scheduler configures multi-job arbitration (Spark's
 	// spark.scheduler.mode and fairscheduler.xml). The zero value is FIFO
 	// with no named pools: concurrent submissions run back-to-back in
@@ -183,6 +187,12 @@ type Context struct {
 	localPools   sync.Map
 	jobObservers sync.Map
 
+	// cancelTokens holds the goroutine-scoped cancellation token installed by
+	// RunWithCancel; runningCancels (under mu) indexes the token of every job
+	// currently running, so CancelJob can reach it by id.
+	cancelTokens   sync.Map
+	runningCancels map[uint64]*jobCancel
+
 	mu            sync.Mutex
 	clock         float64
 	nextNodeID    int
@@ -223,8 +233,20 @@ type failurePlan struct {
 	fired      bool
 }
 
+// validate rejects configurations that can only be mistakes, before any of
+// their values feed a probability draw or a slot computation.
+func (c Config) validate() error {
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	return c.Speculation.Validate()
+}
+
 // New builds a driver context over a fresh cluster and file system.
 func New(cfg Config) (*Context, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
@@ -235,18 +257,19 @@ func New(cfg Config) (*Context, error) {
 		return nil, err
 	}
 	ctx := &Context{
-		cfg:          cfg,
-		cluster:      cl,
-		fs:           fs,
-		shuffle:      newShuffleManager(),
-		r:            rng.New(cfg.Seed ^ 0xc7a5),
-		faults:       rng.New(cfg.Seed ^ 0xfa17),
-		execFailures: map[int]int{},
-		excluded:     map[int]bool{},
-		workers:      make(chan struct{}, cfg.Workers),
-		bus:          &listenerBus{},
-		metrics:      newMetricsListener(),
-		sched:        newJobArbiter(cfg.Scheduler, cfg.Seed),
+		cfg:            cfg,
+		cluster:        cl,
+		fs:             fs,
+		shuffle:        newShuffleManager(),
+		r:              rng.New(cfg.Seed ^ 0xc7a5),
+		faults:         rng.New(cfg.Seed ^ 0xfa17),
+		execFailures:   map[int]int{},
+		excluded:       map[int]bool{},
+		runningCancels: map[uint64]*jobCancel{},
+		workers:        make(chan struct{}, cfg.Workers),
+		bus:            &listenerBus{},
+		metrics:        newMetricsListener(),
+		sched:          newJobArbiter(cfg.Scheduler, cfg.Seed),
 	}
 	ctx.bus.add(ctx.metrics)
 	for _, l := range cfg.Listeners {

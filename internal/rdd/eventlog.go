@@ -182,6 +182,18 @@ func StripMeasuredTime(ev Event) Event {
 		c := *e
 		c.Time = 0
 		return &c
+	case *SpeculativeTaskLaunched:
+		c := *e
+		c.Time = 0
+		return &c
+	case *TaskKilled:
+		c := *e
+		c.Time = 0
+		return &c
+	case *JobCancelled:
+		c := *e
+		c.Time = 0
+		return &c
 	default:
 		return ev
 	}

@@ -78,6 +78,9 @@ type JobEnd struct {
 	VirtualSeconds float64 `json:"virtualSeconds"`
 	Failed         bool    `json:"failed,omitempty"`
 	Error          string  `json:"error,omitempty"`
+	// Cancelled marks a job ended by CancelJob / a deadline, not by failure:
+	// the job produced no result but the context remains fully usable.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 func (*JobEnd) Name() string { return "JobEnd" }
@@ -155,6 +158,11 @@ type TaskEnd struct {
 	OK       bool   `json:"ok"`
 	Failure  string `json:"failure,omitempty"`
 	Recovery bool   `json:"recovery,omitempty"`
+	// Speculative marks the attempt as a speculative copy launched by the
+	// straggler mitigator; Killed marks an attempt killed because the copy
+	// (or original) racing it finished first.
+	Speculative bool `json:"speculative,omitempty"`
+	Killed      bool `json:"killed,omitempty"`
 	// StartSec/DurationSec locate the attempt's span on the virtual clock
 	// (the event's Time is the end of the span); ComputeSec is the measured
 	// host compute. All three derive from host timing.
@@ -251,21 +259,72 @@ type NodeLost struct {
 
 func (*NodeLost) Name() string { return "NodeLost" }
 
+// SpeculativeTaskLaunched marks the straggler mitigator launching a copy of a
+// running task attempt on a different executor (the launch half of Spark's
+// speculative task attempts). Part/Attempt identify the original attempt being
+// raced; Executor is where the copy runs, Original where the straggler runs.
+type SpeculativeTaskLaunched struct {
+	EventTime
+	Job      uint64 `json:"job"`
+	Stage    uint64 `json:"stage"`
+	Round    int    `json:"round"`
+	Part     int    `json:"part"`
+	Attempt  int    `json:"attempt"`
+	Executor int    `json:"executor"`
+	Original int    `json:"original"`
+}
+
+func (*SpeculativeTaskLaunched) Name() string { return "SpeculativeTaskLaunched" }
+
+// TaskKilled marks an attempt killed because the other attempt racing it won
+// (Spark's TaskKilled TaskEndReason, "another attempt succeeded"). The killed
+// attempt also emits a TaskEnd with Killed set and its span truncated at the
+// kill time.
+type TaskKilled struct {
+	EventTime
+	Job      uint64 `json:"job"`
+	Stage    uint64 `json:"stage"`
+	Round    int    `json:"round"`
+	Part     int    `json:"part"`
+	Attempt  int    `json:"attempt"`
+	Executor int    `json:"executor"`
+	Reason   string `json:"reason"`
+}
+
+func (*TaskKilled) Name() string { return "TaskKilled" }
+
+// JobCancelled marks a job being torn down by CancelJob or a deadline
+// (Spark's SparkListenerJobEnd with JobFailed(SparkException: "cancelled"),
+// surfaced as its own event here so cancellations are not conflated with
+// failures). It is followed by the terminal JobEnd{Cancelled: true}.
+type JobCancelled struct {
+	EventTime
+	Job    uint64 `json:"job"`
+	Action string `json:"action"`
+	RDD    string `json:"rdd"`
+	Reason string `json:"reason"`
+}
+
+func (*JobCancelled) Name() string { return "JobCancelled" }
+
 // eventFactories maps event-log type names back to empty event values;
 // ReadEventLog uses it to decode lines.
 var eventFactories = map[string]func() Event{
-	"JobStart":         func() Event { return &JobStart{} },
-	"JobEnd":           func() Event { return &JobEnd{} },
-	"StageSubmitted":   func() Event { return &StageSubmitted{} },
-	"StageCompleted":   func() Event { return &StageCompleted{} },
-	"StageResubmitted": func() Event { return &StageResubmitted{} },
-	"TaskStart":        func() Event { return &TaskStart{} },
-	"TaskEnd":          func() Event { return &TaskEnd{} },
-	"BlockCached":      func() Event { return &BlockCached{} },
-	"BlockEvicted":     func() Event { return &BlockEvicted{} },
-	"FetchFailure":     func() Event { return &FetchFailure{} },
-	"ExecutorExcluded": func() Event { return &ExecutorExcluded{} },
-	"NodeLost":         func() Event { return &NodeLost{} },
+	"JobStart":                func() Event { return &JobStart{} },
+	"JobEnd":                  func() Event { return &JobEnd{} },
+	"StageSubmitted":          func() Event { return &StageSubmitted{} },
+	"StageCompleted":          func() Event { return &StageCompleted{} },
+	"StageResubmitted":        func() Event { return &StageResubmitted{} },
+	"TaskStart":               func() Event { return &TaskStart{} },
+	"TaskEnd":                 func() Event { return &TaskEnd{} },
+	"BlockCached":             func() Event { return &BlockCached{} },
+	"BlockEvicted":            func() Event { return &BlockEvicted{} },
+	"FetchFailure":            func() Event { return &FetchFailure{} },
+	"ExecutorExcluded":        func() Event { return &ExecutorExcluded{} },
+	"NodeLost":                func() Event { return &NodeLost{} },
+	"SpeculativeTaskLaunched": func() Event { return &SpeculativeTaskLaunched{} },
+	"TaskKilled":              func() Event { return &TaskKilled{} },
+	"JobCancelled":            func() Event { return &JobCancelled{} },
 }
 
 // listenerBus delivers events synchronously to every registered listener, in

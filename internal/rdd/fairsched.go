@@ -111,6 +111,10 @@ type jobArbiter struct {
 	nextTicket uint64 // next ticket to hand out
 	serving    uint64 // FIFO: the ticket currently allowed to run
 
+	// abandoned marks FIFO tickets whose submitter was cancelled while
+	// queued; jobEnded skips them when passing the baton.
+	abandoned map[uint64]bool
+
 	// active maps running job id → pool name; activeByPool counts them.
 	active       map[uint64]string
 	activeByPool map[string]int
@@ -121,6 +125,7 @@ func newJobArbiter(cfg SchedulerConfig, seed uint64) *jobArbiter {
 		mode:         cfg.Mode,
 		pools:        map[string]PoolSpec{},
 		seed:         seed,
+		abandoned:    map[uint64]bool{},
 		active:       map[uint64]string{},
 		activeByPool: map[string]int{},
 	}
@@ -140,20 +145,43 @@ func (a *jobArbiter) poolSpec(name string) PoolSpec {
 	return PoolSpec{Name: name}
 }
 
-// admit blocks until the job may start and returns its admission ticket.
-// FIFO admits strictly in ticket order — one job at a time, so later
-// submissions wait for every earlier job to end. FAIR admits immediately.
-func (a *jobArbiter) admit() uint64 {
+// admit blocks until the job may start, returning false if the submitter's
+// cancellation token fired while it was still queued (its ticket is then
+// abandoned and skipped by jobEnded). FIFO admits strictly in ticket order —
+// one job at a time, so later submissions wait for every earlier job to end.
+// FAIR admits immediately. A nil token never cancels.
+func (a *jobArbiter) admit(tok *jobCancel) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	ticket := a.nextTicket
 	a.nextTicket++
-	if a.mode == SchedFIFO {
-		for a.serving != ticket {
-			a.cond.Wait()
-		}
+	if a.mode != SchedFIFO || a.serving == ticket {
+		return true
 	}
-	return ticket
+	if tok != nil {
+		// Waker: turn the token firing into a cond broadcast so the wait
+		// loop below re-checks. Stopped when admit returns (close does not
+		// block, and runs before the mutex defer releases).
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-tok.done:
+				a.mu.Lock()
+				a.cond.Broadcast()
+				a.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
+	for a.serving != ticket {
+		if tok.cancelled() {
+			a.abandoned[ticket] = true
+			return false
+		}
+		a.cond.Wait()
+	}
+	return true
 }
 
 // jobStarted registers an admitted job as active in its pool.
@@ -176,6 +204,10 @@ func (a *jobArbiter) jobEnded(job uint64) {
 	}
 	if a.mode == SchedFIFO {
 		a.serving++
+		for a.abandoned[a.serving] {
+			delete(a.abandoned, a.serving)
+			a.serving++
+		}
 		a.cond.Broadcast()
 	}
 	a.mu.Unlock()

@@ -47,11 +47,96 @@ type NodeLoss struct {
 	AfterTasks int64
 }
 
+// Validate rejects profiles that could only have been written by mistake —
+// probabilities outside [0,1], a "straggler" that would run faster than
+// normal, node losses scheduled before the run starts — with an error naming
+// the field, instead of silently clamping or misbehaving at runtime.
+func (f FaultProfile) Validate() error {
+	check := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("rdd: FaultProfile.%s = %g is not a probability (want [0,1])", name, p)
+		}
+		return nil
+	}
+	if err := check("TaskCrashProb", f.TaskCrashProb); err != nil {
+		return err
+	}
+	if err := check("FetchFailureProb", f.FetchFailureProb); err != nil {
+		return err
+	}
+	if err := check("StragglerProb", f.StragglerProb); err != nil {
+		return err
+	}
+	if f.StragglerFactor < 0 {
+		return fmt.Errorf("rdd: FaultProfile.StragglerFactor = %g is negative", f.StragglerFactor)
+	}
+	if f.StragglerFactor > 0 && f.StragglerFactor < 1 {
+		return fmt.Errorf("rdd: FaultProfile.StragglerFactor = %g would make stragglers faster than normal tasks (want >= 1, or 0 for the default)", f.StragglerFactor)
+	}
+	for i, nl := range f.NodeLoss {
+		if nl.Node < 0 {
+			return fmt.Errorf("rdd: FaultProfile.NodeLoss[%d].Node = %d is negative", i, nl.Node)
+		}
+		if nl.AfterTasks < 0 {
+			return fmt.Errorf("rdd: FaultProfile.NodeLoss[%d].AfterTasks = %d schedules the loss before the run starts", i, nl.AfterTasks)
+		}
+	}
+	return nil
+}
+
 func (f FaultProfile) stragglerFactor() float64 {
 	if f.StragglerFactor <= 0 {
 		return 8
 	}
 	return f.StragglerFactor
+}
+
+// SpeculationConfig enables Spark-style speculative execution — the engine's
+// counterpart of spark.speculation and its companion knobs. The zero value
+// disables speculation entirely, preserving the pre-speculation schedule
+// bit for bit.
+type SpeculationConfig struct {
+	// Enabled turns speculative re-launching on (spark.speculation).
+	Enabled bool
+
+	// Quantile is the fraction of a stage's tasks that must be projected
+	// complete before copies launch (spark.speculation.quantile). Zero
+	// selects Spark's default of 0.75.
+	Quantile float64
+
+	// Multiplier is how many times slower than the stage's median a task must
+	// be running before it is speculated (spark.speculation.multiplier). Zero
+	// selects Spark's default of 1.5.
+	Multiplier float64
+}
+
+func (s SpeculationConfig) quantile() float64 {
+	if s.Quantile <= 0 {
+		return 0.75
+	}
+	return s.Quantile
+}
+
+func (s SpeculationConfig) multiplier() float64 {
+	if s.Multiplier <= 0 {
+		return 1.5
+	}
+	return s.Multiplier
+}
+
+// Validate rejects nonsensical speculation knobs with an error naming the
+// field.
+func (s SpeculationConfig) Validate() error {
+	if s.Quantile < 0 || s.Quantile > 1 {
+		return fmt.Errorf("rdd: SpeculationConfig.Quantile = %g is not a fraction (want (0,1], or 0 for the default)", s.Quantile)
+	}
+	if s.Multiplier < 0 {
+		return fmt.Errorf("rdd: SpeculationConfig.Multiplier = %g is negative", s.Multiplier)
+	}
+	if s.Multiplier > 0 && s.Multiplier <= 1 {
+		return fmt.Errorf("rdd: SpeculationConfig.Multiplier = %g would speculate tasks running at the median rate (want > 1, or 0 for the default)", s.Multiplier)
+	}
+	return nil
 }
 
 // enabled reports whether the profile injects anything at all.
@@ -64,6 +149,7 @@ const (
 	faultCrash     = 0x1c
 	faultFetch     = 0x2f
 	faultStraggler = 0x35
+	faultSpecCrash = 0x5c
 )
 
 // faultDraw returns a uniform [0,1) draw that depends only on the decision

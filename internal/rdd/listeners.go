@@ -53,6 +53,12 @@ func eventJob(ev Event) uint64 {
 		return e.Job
 	case *FetchFailure:
 		return e.Job
+	case *SpeculativeTaskLaunched:
+		return e.Job
+	case *TaskKilled:
+		return e.Job
+	case *JobCancelled:
+		return e.Job
 	}
 	return 0
 }
@@ -67,7 +73,11 @@ func (ml *metricsListener) OnEvent(ev Event) {
 		ml.active[e.Job] = jm
 		return
 	case *JobEnd:
+		// Cancelled jobs are recorded (flagged Cancelled) — unlike failures,
+		// nothing is suspect about their partial accounting; failed jobs stay
+		// unrecorded as before.
 		if jm, ok := ml.active[e.Job]; ok && !e.Failed {
+			jm.Cancelled = e.Cancelled
 			ml.jobs = append(ml.jobs, *jm)
 		}
 		delete(ml.active, e.Job)
@@ -94,7 +104,14 @@ func (ml *metricsListener) OnEvent(ev Event) {
 		if e.Attempt > 1 {
 			jm.TaskRetries++
 		}
+	case *SpeculativeTaskLaunched:
+		jm.SpeculatedTasks++
+	case *TaskKilled:
+		jm.KilledTasks++
 	case *TaskEnd:
+		if e.Speculative && e.OK {
+			jm.SpeculationWonTasks++
+		}
 		m := e.Metrics
 		jm.ComputeSeconds += e.ComputeSec
 		jm.DFSBytes += m.DFSLocalBytes + m.DFSRemoteBytes
@@ -173,15 +190,22 @@ func (tl *TimelineListener) OnEvent(ev Event) {
 	switch e := ev.(type) {
 	case *TaskEnd:
 		status := "ok"
-		if !e.OK {
+		switch {
+		case e.Killed:
+			status = "killed"
+		case !e.OK:
 			status = "failed"
+		}
+		name := fmt.Sprintf("job %d stage %d part %d attempt %d", e.Job, e.Stage, e.Part, e.Attempt)
+		if e.Speculative {
+			name += " (speculative)"
 		}
 		tl.execs[e.Executor] = true
 		tl.spans = append(tl.spans, traceEvent{
-			Name: fmt.Sprintf("job %d stage %d part %d attempt %d", e.Job, e.Stage, e.Part, e.Attempt),
+			Name: name,
 			Ph:   "X", Ts: e.StartSec * microsecond, Dur: e.DurationSec * microsecond,
 			Pid: e.Executor + 1, Tid: e.Part,
-			Args: map[string]any{"status": status, "recovery": e.Recovery, "failure": e.Failure},
+			Args: map[string]any{"status": status, "recovery": e.Recovery, "failure": e.Failure, "speculative": e.Speculative},
 		})
 	case *StageCompleted:
 		tl.spans = append(tl.spans, traceEvent{
@@ -192,6 +216,10 @@ func (tl *TimelineListener) OnEvent(ev Event) {
 		})
 	case *StageResubmitted:
 		tl.instant(fmt.Sprintf("resubmit shuffle %d (attempt %d)", e.Shuffle, e.Attempt), e.Time)
+	case *SpeculativeTaskLaunched:
+		tl.instant(fmt.Sprintf("speculate job %d stage %d part %d on executor %d", e.Job, e.Stage, e.Part, e.Executor), e.Time)
+	case *JobCancelled:
+		tl.instant(fmt.Sprintf("job %d cancelled: %s", e.Job, e.Reason), e.Time)
 	case *ExecutorExcluded:
 		tl.instant(fmt.Sprintf("executor %d excluded", e.Executor), e.Time)
 	case *NodeLost:
@@ -264,9 +292,16 @@ func (cp *ConsoleProgressListener) OnEvent(ev Event) {
 	case *JobEnd:
 		if e.Failed {
 			cp.printf("[job %d] FAILED after %.3f sim-s: %s", e.Job, e.VirtualSeconds, e.Error)
+		} else if e.Cancelled {
+			cp.printf("[job %d] cancelled after %.3f sim-s", e.Job, e.VirtualSeconds)
 		} else if !cp.RecoveryOnly {
 			cp.printf("[job %d] done in %.3f sim-s", e.Job, e.VirtualSeconds)
 		}
+	case *JobCancelled:
+		cp.printf("[job %d] cancelling %s(%s): %s", e.Job, e.Action, e.RDD, e.Reason)
+	case *SpeculativeTaskLaunched:
+		cp.printf("[job %d]     speculating task %d (stage %s) on executor %d (original on %d)",
+			e.Job, e.Part, stageLabel(e.Stage), e.Executor, e.Original)
 	case *StageSubmitted:
 		if !cp.RecoveryOnly {
 			suffix := ""
@@ -286,7 +321,10 @@ func (cp *ConsoleProgressListener) OnEvent(ev Event) {
 		cp.printf("[job %d] fetch failure: resubmitting map stage of shuffle %d (attempt %d): %s",
 			e.Job, e.Shuffle, e.Attempt, e.Reason)
 	case *TaskEnd:
-		if !e.OK {
+		if e.Killed {
+			cp.printf("[job %d]     task %d attempt %d killed on executor %d: %s",
+				e.Job, e.Part, e.Attempt, e.Executor, e.Failure)
+		} else if !e.OK {
 			cp.printf("[job %d]     task %d attempt %d failed on executor %d: %s",
 				e.Job, e.Part, e.Attempt, e.Executor, e.Failure)
 		}

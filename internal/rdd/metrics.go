@@ -47,6 +47,18 @@ type JobMetrics struct {
 	// VirtualSeconds, reported so chaos runs can state recovery overhead
 	// as a fraction of fault-free time.
 	RecoverySeconds float64
+
+	// Speculation accounting. SpeculatedTasks counts speculative copies
+	// launched, SpeculationWonTasks the copies that finished first, and
+	// KilledTasks the losing attempts killed mid-flight. All are
+	// scheduling-order-insensitive counts, part of the replay fingerprint.
+	SpeculatedTasks     int
+	SpeculationWonTasks int
+	KilledTasks         int
+
+	// Cancelled marks a job ended by CancelJob or a deadline: it produced no
+	// result, but unlike a failure nothing is wrong with the context.
+	Cancelled bool
 }
 
 // String renders a one-line summary.
@@ -57,6 +69,13 @@ func (m JobMetrics) String() string {
 	if m.TaskRetries > 0 || m.StageAttempts > 0 {
 		s += fmt.Sprintf(" [recovery: %d retries, %d stage re-attempts, %d recomputed parts, %.3f sim-s]",
 			m.TaskRetries, m.StageAttempts, m.RecomputedPartitions, m.RecoverySeconds)
+	}
+	if m.SpeculatedTasks > 0 {
+		s += fmt.Sprintf(" [speculation: %d copies, %d won, %d killed]",
+			m.SpeculatedTasks, m.SpeculationWonTasks, m.KilledTasks)
+	}
+	if m.Cancelled {
+		s += " [cancelled]"
 	}
 	return s
 }
@@ -76,6 +95,10 @@ type RecoveryStats struct {
 	TaskRetries          int
 	StageAttempts        int
 	RecomputedPartitions int
+	SpeculatedTasks      int
+	SpeculationWonTasks  int
+	KilledTasks          int
+	CancelledJobs        int
 	RecoverySeconds      float64
 	VirtualSeconds       float64
 }
@@ -88,6 +111,12 @@ func SummarizeRecovery(jobs []JobMetrics) RecoveryStats {
 		s.TaskRetries += m.TaskRetries
 		s.StageAttempts += m.StageAttempts
 		s.RecomputedPartitions += m.RecomputedPartitions
+		s.SpeculatedTasks += m.SpeculatedTasks
+		s.SpeculationWonTasks += m.SpeculationWonTasks
+		s.KilledTasks += m.KilledTasks
+		if m.Cancelled {
+			s.CancelledJobs++
+		}
 		s.RecoverySeconds += m.RecoverySeconds
 		s.VirtualSeconds += m.VirtualSeconds
 	}

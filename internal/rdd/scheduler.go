@@ -53,10 +53,11 @@ type task struct {
 // so far. Virtual event timestamps are base + virt; all metric accumulation
 // happens in bus listeners, not here.
 type jobRun struct {
-	job  uint64
-	pool string
-	base float64 // context clock when the job was admitted
-	virt float64 // virtual seconds this job has accumulated
+	job    uint64
+	pool   string
+	base   float64 // context clock when the job was admitted
+	virt   float64 // virtual seconds this job has accumulated
+	cancel *jobCancel
 }
 
 func (j *jobRun) now() float64 { return j.base + j.virt }
@@ -74,14 +75,23 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 	// id and clock base are taken only after admission, so ids and start
 	// times follow admission order.
 	pool := c.currentPool()
-	c.sched.admit()
+	cancel := c.currentCancel()
+	if !c.sched.admit(cancel) {
+		// Cancelled while queued for FIFO admission: the job never started —
+		// no id was assigned and no events are emitted.
+		return &JobCancelledError{Reason: cancel.why()}
+	}
 	job := c.newJobID()
+	if cancel == nil {
+		cancel = newJobCancel() // reachable by CancelJob even without RunWithCancel
+	}
 	c.mu.Lock()
 	base := c.clock
 	c.activeJobs++
+	c.runningCancels[job] = cancel
 	c.mu.Unlock()
 	c.sched.jobStarted(job, pool)
-	jr := &jobRun{job: job, pool: pool, base: base}
+	jr := &jobRun{job: job, pool: pool, base: base, cancel: cancel}
 
 	// endJob publishes the terminal JobEnd exactly once — from the success
 	// path or from the deferred failure handler — after flushing buffered
@@ -96,8 +106,16 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 		}
 		ended = true
 		c.drainContextEvents(jr.now())
+		var jc *JobCancelledError
+		cancelled := errors.As(failErr, &jc)
+		if cancelled {
+			c.emit(jr.now(), &JobCancelled{Job: job, Action: action, RDD: final.name, Reason: jc.Reason})
+		}
 		end := &JobEnd{Job: job, Action: action, RDD: final.name, VirtualSeconds: jr.virt}
-		if failErr != nil {
+		switch {
+		case cancelled:
+			end.Cancelled = true
+		case failErr != nil:
 			end.Failed, end.Error = true, failErr.Error()
 		}
 		c.emit(jr.now(), end)
@@ -105,6 +123,7 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 		if failErr == nil && jr.now() > c.clock {
 			c.clock = jr.now()
 		}
+		delete(c.runningCancels, job)
 		c.activeJobs--
 		c.mu.Unlock()
 		c.sched.jobEnded(job)
@@ -301,6 +320,9 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 			if abort.Load() {
 				break // the job is doomed: drain instead of launching more
 			}
+			if jr.cancel.cancelled() {
+				break // the job is cancelled: this is the next task boundary
+			}
 			t.attempt = attempt
 			wg.Add(1)
 			c.workers <- struct{}{}
@@ -379,6 +401,12 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 		if stageErr != nil {
 			break
 		}
+		if jr.cancel.cancelled() {
+			// Launched attempts (and their failures) are accounted as usual;
+			// the stage then completes as cancelled and the job unwinds.
+			stageErr = &JobCancelledError{Job: job, Reason: jr.cancel.why()}
+			break
+		}
 		if len(retry) > 0 {
 			c.mu.Lock()
 			for _, t := range retry {
@@ -402,41 +430,59 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 	// minShare-derived fraction when FAIR jobs overlap (see jobArbiter).
 	totalSlots := c.cluster.TotalSlots()
 	pools := map[int]*simtime.SlotPool{}
-	makespan := 0.0
-	account := func(t *task, isRecovery bool) {
+	poolFor := func(executor int) *simtime.SlotPool {
+		pool, ok := pools[executor]
+		if !ok {
+			cores := c.cluster.Executor(executor).Cores
+			pool = simtime.NewSlotPool(c.sched.stageSlots(job, executor, cores, totalSlots))
+			pools[executor] = pool
+		}
+		return pool
+	}
+	// Phase one: schedule. Play every attempt's duration onto its executor's
+	// slots (successful tasks in partition order, then failed attempts in
+	// post-mortem order) without emitting anything yet — speculation needs the
+	// whole schedule before any TaskEnd is final.
+	var scheds []*attemptSched
+	schedule := func(t *task, isRecovery bool) {
 		if t.tc == nil {
 			return // never launched (drained after an abort)
 		}
-		pool, ok := pools[t.executor]
-		if !ok {
-			cores := c.cluster.Executor(t.executor).Cores
-			pool = simtime.NewSlotPool(c.sched.stageSlots(job, t.executor, cores, totalSlots))
-			pools[t.executor] = pool
-		}
-		dur := c.taskDuration(t)
-		done := pool.Run(0, dur)
-		if done > makespan {
-			makespan = done
-		}
-		start, end := stageStart+done-dur, stageStart+done
-		c.emit(start, &TaskStart{Job: job, Stage: stageID, Round: round, Part: t.part, Attempt: t.attempt, Executor: t.executor})
-		for _, ev := range t.tc.events {
-			c.emit(end, ev)
-		}
-		c.emit(end, &TaskEnd{
-			Job: job, Stage: stageID, Round: round, Part: t.part, Attempt: t.attempt, Executor: t.executor,
-			OK: t.ok, Failure: t.failMsg, Recovery: isRecovery,
-			StartSec: start, DurationSec: dur, ComputeSec: t.computeSec,
-			Metrics: t.tc.snapshot(),
-		})
+		base := c.taskBaseDuration(t)
+		slow := c.stragglerSlowdown(t.tc)
+		dur := base * slow
+		done := poolFor(t.executor).Run(0, dur)
+		scheds = append(scheds, &attemptSched{t: t, recovery: isRecovery,
+			base: base, slow: slow, dur: dur, done: done, effDone: done})
 	}
 	for _, t := range tasks {
 		if t.ok {
-			account(t, recovery || t.attempt > 1)
+			schedule(t, recovery || t.attempt > 1)
 		}
 	}
 	for _, t := range charges {
-		account(t, true)
+		schedule(t, true)
+	}
+	// Phase two: speculation. Copies of straggling attempts are placed on
+	// other executors' remaining slots; a surviving copy wins and truncates
+	// its original at the copy's completion (a no-op unless enabled).
+	if stageErr == nil {
+		c.planSpeculation(job, stageID, round, scheds, poolFor)
+	}
+	// Phase three: emit, in schedule order. The stage barrier is the last
+	// *effective* completion — killed originals count up to their kill time
+	// only, which is exactly the speculation win.
+	makespan := 0.0
+	for _, s := range scheds {
+		if s.effDone > makespan {
+			makespan = s.effDone
+		}
+		if s.copy != nil && s.copy.done > makespan {
+			makespan = s.copy.done
+		}
+	}
+	for _, s := range scheds {
+		c.emitAttempt(jr, stageID, round, stageStart, s)
 	}
 	// Node losses fired by plans during this stage, then executor exclusions,
 	// land at the stage barrier — a deterministic log position.
@@ -453,6 +499,58 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 	c.emit(stageStart+elapsed, done)
 	jr.virt += elapsed
 	return stageErr
+}
+
+// emitAttempt flushes one scheduled attempt's events: TaskStart at its
+// virtual launch, the events the task buffered while running, then TaskEnd —
+// plus, when a speculative copy raced it, the copy's launch, the kill of the
+// losing original, and the copy's own TaskEnd.
+func (c *Context) emitAttempt(jr *jobRun, stage uint64, round int, stageStart float64, s *attemptSched) {
+	t := s.t
+	start, end := stageStart+s.done-s.dur, stageStart+s.effDone
+	c.emit(start, &TaskStart{Job: jr.job, Stage: stage, Round: round, Part: t.part, Attempt: t.attempt, Executor: t.executor})
+	for _, ev := range t.tc.events {
+		c.emit(end, ev)
+	}
+	te := &TaskEnd{
+		Job: jr.job, Stage: stage, Round: round, Part: t.part, Attempt: t.attempt, Executor: t.executor,
+		OK: t.ok, Failure: t.failMsg, Recovery: s.recovery,
+		StartSec: start, DurationSec: s.dur, ComputeSec: t.computeSec,
+		Metrics: t.tc.snapshot(),
+	}
+	cp := s.copy
+	if cp != nil {
+		c.emit(stageStart+cp.done-cp.dur, &SpeculativeTaskLaunched{Job: jr.job, Stage: stage, Round: round,
+			Part: t.part, Attempt: t.attempt, Executor: cp.executor, Original: t.executor})
+		if !cp.crashed {
+			// The copy won: the original is killed at the copy's completion,
+			// its span truncated there.
+			te.OK, te.Killed = false, true
+			te.Failure = "killed: speculative copy won"
+			te.DurationSec = s.effDone - (s.done - s.dur)
+			c.emit(end, &TaskKilled{Job: jr.job, Stage: stage, Round: round, Part: t.part,
+				Attempt: t.attempt, Executor: t.executor, Reason: "speculative copy finished first"})
+		}
+	}
+	c.emit(end, te)
+	if cp != nil {
+		cte := &TaskEnd{
+			Job: jr.job, Stage: stage, Round: round, Part: t.part, Attempt: t.attempt, Executor: cp.executor,
+			Speculative: true, Recovery: s.recovery,
+			StartSec: stageStart + cp.done - cp.dur, DurationSec: cp.dur,
+		}
+		if cp.crashed {
+			cte.Failure = fmt.Sprintf("injected task crash (speculative copy of stage %d partition %d attempt %d)", stage, t.part, t.attempt)
+		} else {
+			// The winning copy re-ran the same partition for real: it carries
+			// the original's measured compute and byte counters, honestly
+			// double-charging what speculation cost the cluster.
+			cte.OK = true
+			cte.ComputeSec = t.computeSec
+			cte.Metrics = t.tc.snapshot()
+		}
+		c.emit(stageStart+cp.done, cte)
+	}
 }
 
 // beforeTask fires any due failure plans and re-places the task if its
@@ -569,8 +667,15 @@ func (c *Context) placeLocked(preferred []int, loads map[int]int) int {
 }
 
 // taskDuration converts a task's measured compute time and recorded I/O into
-// simulated seconds.
+// simulated seconds, straggler slowdown included.
 func (c *Context) taskDuration(t *task) float64 {
+	return c.taskBaseDuration(t) * c.stragglerSlowdown(t.tc)
+}
+
+// taskBaseDuration is taskDuration before the straggler slowdown — the
+// duration the task would have run at the stage's normal rate, which is what
+// a speculative copy of it runs at on another executor.
+func (c *Context) taskBaseDuration(t *task) float64 {
 	cfg := c.cfg
 	tc := t.tc
 	diskBps := cfg.DiskMBps * 1e6
@@ -597,5 +702,5 @@ func (c *Context) taskDuration(t *task) float64 {
 	if ws := float64(tc.workBytes()); ws > execMemPerSlot {
 		dur += 2 * (ws - execMemPerSlot) / diskBps
 	}
-	return dur * c.stragglerSlowdown(tc)
+	return dur
 }

@@ -23,6 +23,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -68,8 +69,15 @@ type Server struct {
 	reqSeq      uint64
 	rejected429 uint64
 	rejected503 uint64
+	timedOut408 uint64
+	closed499   uint64
 	recent      []RequestRecord
 }
+
+// StatusClientClosedRequest is the nginx-convention status recorded when the
+// client disconnected before its job finished. It is never written to a live
+// connection (there is none left); it appears in /v1/jobs records and stats.
+const StatusClientClosedRequest = 499
 
 // New builds a Server over an already-staged analysis.
 func New(cfg Config) (*Server, error) {
@@ -176,9 +184,11 @@ type httpError struct {
 
 // admit applies admission control for one request: 503 while draining, 429
 // (with Retry-After) when the pool's queue is full, otherwise it blocks until
-// a concurrency slot frees up and returns the wall seconds spent waiting.
-// The caller must invoke release() when the request finishes.
-func (s *Server) admit(p *servingPool) (queueSec float64, herr *httpError) {
+// a concurrency slot frees up and returns the wall seconds spent waiting. A
+// queued request whose ctx ends (per-request deadline, client disconnect)
+// gives its queue spot back and is rejected with the deadline/disconnect
+// error. The caller must invoke release() when the request finishes.
+func (s *Server) admit(ctx context.Context, p *servingPool) (queueSec float64, herr *httpError) {
 	s.stateMu.Lock()
 	if s.draining {
 		s.stateMu.Unlock()
@@ -208,11 +218,41 @@ func (s *Server) admit(p *servingPool) (queueSec float64, herr *httpError) {
 	p.queued++
 	p.mu.Unlock()
 	start := time.Now()
-	p.slots <- struct{}{}
-	p.mu.Lock()
-	p.queued--
-	p.mu.Unlock()
-	return time.Since(start).Seconds(), nil
+	select {
+	case p.slots <- struct{}{}:
+		p.mu.Lock()
+		p.queued--
+		p.mu.Unlock()
+		return time.Since(start).Seconds(), nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		p.queued--
+		p.mu.Unlock()
+		s.inflight.Done()
+		return time.Since(start).Seconds(), s.cancelError(ctx, p)
+	}
+}
+
+// cancelError classifies a request context's end: 408 with a Retry-After for
+// an exceeded timeout_ms deadline, 499 for a client disconnect.
+func (s *Server) cancelError(ctx context.Context, p *servingPool) *httpError {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.statMu.Lock()
+		s.timedOut408++
+		s.statMu.Unlock()
+		p.mu.Lock()
+		retry := p.retryAfterLocked()
+		p.mu.Unlock()
+		return &httpError{
+			status:     http.StatusRequestTimeout,
+			msg:        "timeout_ms exceeded; job cancelled",
+			retryAfter: retry,
+		}
+	}
+	s.statMu.Lock()
+	s.closed499++
+	s.statMu.Unlock()
+	return &httpError{status: StatusClientClosedRequest, msg: "client closed request; job cancelled"}
 }
 
 // release returns the slot and folds the request's wall time into the pool's
@@ -258,8 +298,11 @@ type jobRequest interface {
 	validate() error
 	// fingerprintParts lists everything (besides the server's fixed Analysis)
 	// that determines the result; the pool is deliberately absent — it moves
-	// work between queues, never changes the answer.
+	// work between queues, never changes the answer. timeout_ms is likewise
+	// absent: it bounds how long the caller waits, never the answer itself.
 	fingerprintParts(endpoint string) []string
+	// timeout is the per-request deadline from timeout_ms (0 = none).
+	timeout() time.Duration
 	run(a *core.Analysis) (any, error)
 }
 
@@ -332,6 +375,10 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, endpoint strin
 		writeError(w, &httpError{status: http.StatusBadRequest, msg: err.Error()})
 		return
 	}
+	if req.timeout() < 0 {
+		writeError(w, &httpError{status: http.StatusBadRequest, msg: "timeout_ms must be >= 0"})
+		return
+	}
 	id := s.nextRequestID()
 	poolName := req.pool()
 	if poolName == "" {
@@ -359,25 +406,64 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, endpoint strin
 	}
 
 	p := s.pool(poolName)
+	// The request context ends when the client disconnects; timeout_ms layers
+	// a server-side deadline on top. Either way the job is cancelled at its
+	// next task boundary and the pool slot is returned.
+	cctx := r.Context()
+	if d := req.timeout(); d > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(cctx, d)
+		defer cancel()
+	}
 	start := time.Now()
-	queueSec, herr := s.admit(p)
+	queueSec, herr := s.admit(cctx, p)
 	if herr != nil {
 		writeError(w, herr)
-		s.record(RequestRecord{ID: id, Endpoint: endpoint, Pool: poolName, Status: herr.status, Error: herr.msg})
+		s.record(RequestRecord{ID: id, Endpoint: endpoint, Pool: poolName, Status: herr.status,
+			QueueSeconds: queueSec, Error: herr.msg})
 		return
 	}
 
 	clock0 := s.ctx.VirtualTime()
-	var payload any
-	spans, err := s.ctx.ObserveJobs(func() error {
-		return s.ctx.RunInPool(poolName, func() error {
-			var werr error
-			payload, werr = req.run(s.analysis)
-			return werr
+	type outcome struct {
+		payload any
+		spans   []rdd.JobSpan
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var payload any
+		spans, err := s.ctx.ObserveJobs(func() error {
+			return s.ctx.RunWithCancel(cctx, func() error {
+				return s.ctx.RunInPool(poolName, func() error {
+					var werr error
+					payload, werr = req.run(s.analysis)
+					return werr
+				})
+			})
 		})
-	})
+		done <- outcome{payload: payload, spans: spans, err: err}
+	}()
+
+	var out outcome
+	select {
+	case out = <-done:
+	case <-cctx.Done():
+		// Answer the client within its deadline; the engine aborts the job at
+		// the next task boundary, and only then is the slot handed back.
+		herr := s.cancelError(cctx, p)
+		go func() {
+			<-done
+			s.release(p, time.Since(start).Seconds())
+		}()
+		writeError(w, herr)
+		s.record(RequestRecord{ID: id, Endpoint: endpoint, Pool: poolName, Status: herr.status,
+			WallSeconds: time.Since(start).Seconds(), QueueSeconds: queueSec, Error: herr.msg})
+		return
+	}
 	wallSec := time.Since(start).Seconds()
 	s.release(p, wallSec)
+	payload, spans, err := out.payload, out.spans, out.err
 
 	rec := RequestRecord{
 		ID: id, Endpoint: endpoint, Pool: poolName,
@@ -400,9 +486,16 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, endpoint strin
 	}
 	rec.VirtualSeconds = resp.VirtualSeconds
 	if err != nil {
-		rec.Status, rec.Error = http.StatusInternalServerError, err.Error()
+		// A job the request's own context cancelled is the client's doing
+		// (deadline or disconnect), not a server failure.
+		var jc *rdd.JobCancelledError
+		herr := &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+		if errors.As(err, &jc) && cctx.Err() != nil {
+			herr = s.cancelError(cctx, p)
+		}
+		rec.Status, rec.Error = herr.status, herr.msg
 		s.record(rec)
-		writeError(w, &httpError{status: http.StatusInternalServerError, msg: err.Error()})
+		writeError(w, herr)
 		return
 	}
 	body, err := json.Marshal(payload)
@@ -427,11 +520,13 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, endpoint strin
 // ---- request types ----
 
 type scoreRequest struct {
-	PoolName string `json:"pool,omitempty"`
-	Top      int    `json:"top,omitempty"`
+	PoolName  string `json:"pool,omitempty"`
+	Top       int    `json:"top,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
-func (r *scoreRequest) pool() string { return r.PoolName }
+func (r *scoreRequest) pool() string           { return r.PoolName }
+func (r *scoreRequest) timeout() time.Duration { return time.Duration(r.TimeoutMS) * time.Millisecond }
 func (r *scoreRequest) validate() error {
 	if r.Top < 0 {
 		return fmt.Errorf("top must be >= 0")
@@ -472,11 +567,13 @@ func (r *scoreRequest) run(a *core.Analysis) (any, error) {
 }
 
 type skatRequest struct {
-	PoolName string `json:"pool,omitempty"`
-	Top      int    `json:"top,omitempty"`
+	PoolName  string `json:"pool,omitempty"`
+	Top       int    `json:"top,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
-func (r *skatRequest) pool() string { return r.PoolName }
+func (r *skatRequest) pool() string           { return r.PoolName }
+func (r *skatRequest) timeout() time.Duration { return time.Duration(r.TimeoutMS) * time.Millisecond }
 func (r *skatRequest) validate() error {
 	if r.Top < 0 {
 		return fmt.Errorf("top must be >= 0")
@@ -521,9 +618,13 @@ type resampleRequest struct {
 	Method     string `json:"method"`
 	Iterations int    `json:"iterations,omitempty"`
 	Replicate  uint64 `json:"replicate,omitempty"`
+	TimeoutMS  int64  `json:"timeout_ms,omitempty"`
 }
 
 func (r *resampleRequest) pool() string { return r.PoolName }
+func (r *resampleRequest) timeout() time.Duration {
+	return time.Duration(r.TimeoutMS) * time.Millisecond
+}
 func (r *resampleRequest) validate() error {
 	switch r.Method {
 	case "mc", "perm":
@@ -629,18 +730,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.poolMu.Unlock()
 	s.statMu.Lock()
 	requests, r429, r503 := s.reqSeq, s.rejected429, s.rejected503
+	t408, c499 := s.timedOut408, s.closed499
 	s.statMu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"mode":          s.ctx.SchedulerMode().String(),
-		"draining":      s.Draining(),
-		"virtualTime":   s.ctx.VirtualTime(),
-		"storageEpoch":  s.ctx.StorageEpoch(),
-		"completedJobs": len(s.ctx.Jobs()),
-		"requests":      requests,
-		"rejected429":   r429,
-		"rejected503":   r503,
-		"pools":         pools,
-		"cache":         s.cache.stats(),
+		"mode":            s.ctx.SchedulerMode().String(),
+		"draining":        s.Draining(),
+		"virtualTime":     s.ctx.VirtualTime(),
+		"storageEpoch":    s.ctx.StorageEpoch(),
+		"completedJobs":   len(s.ctx.Jobs()),
+		"requests":        requests,
+		"rejected429":     r429,
+		"rejected503":     r503,
+		"timedOut408":     t408,
+		"disconnected499": c499,
+		"pools":           pools,
+		"cache":           s.cache.stats(),
 	})
 }
 

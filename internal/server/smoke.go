@@ -108,6 +108,8 @@ func Smoke(out io.Writer) error {
 			func() error { return smokeCache(base) }},
 		{"backpressure", "queue-full request rejected with 429 + Retry-After",
 			func() error { return smokeBackpressure(base, srv) }},
+		{"timeout", "timed-out request answered 408, freed its slot, next request matches batch",
+			func() error { return smokeTimeout(base, batch) }},
 		{"drain", "graceful drain finished in-flight work and rejected new requests with 503",
 			func() error { return smokeDrain(base, srv) }},
 	}
@@ -315,6 +317,77 @@ func smokeBackpressure(base string, srv *Server) error {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		return fmt.Errorf("429 response missing Retry-After header")
+	}
+	return nil
+}
+
+// smokeTimeout verifies deadline cancellation end to end over real HTTP: a
+// request whose timeout_ms elapses mid-job is answered with 408 + Retry-After
+// near the deadline (not after the job would have finished), the cancelled
+// job hands its pool slot back, and the next request on the same single-slot
+// pool still matches the batch path bit for bit — cancellation must leave the
+// shared driver fully reusable.
+func smokeTimeout(base string, batch *core.Analysis) error {
+	start := time.Now()
+	resp, env, err := postJSON(base, "/v1/resample",
+		map[string]any{"method": "perm", "iterations": 5000, "pool": "tiny", "timeout_ms": 100})
+	if err != nil {
+		return err
+	}
+	if env != nil || resp.StatusCode != http.StatusRequestTimeout {
+		status := 200
+		if env == nil {
+			status = resp.StatusCode
+		}
+		return fmt.Errorf("timed-out request got status %d, want 408", status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("408 response missing Retry-After header")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		return fmt.Errorf("408 answered after %v, want close to the 100ms deadline", elapsed)
+	}
+	// The tiny pool has one slot and no queue, so a 200 here proves the
+	// cancelled job returned its slot. The wind-down lasts until the job's
+	// next task boundary; 429s until then are expected.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, env, err = postJSON(base, "/v1/resample",
+			map[string]any{"method": "mc", "iterations": 4, "pool": "tiny"})
+		if err != nil {
+			return err
+		}
+		if env != nil {
+			break
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return fmt.Errorf("follow-up on the freed pool got status %d, want 200 (or 429 while the cancelled job winds down)", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pool slot still busy 30s after the 408: cancelled job leaked its slot")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	var payload struct {
+		Iterations int           `json:"iterations"`
+		Sets       []ResampleSet `json:"sets"`
+	}
+	if err := json.Unmarshal(env.Result, &payload); err != nil {
+		return err
+	}
+	want, err := batch.MonteCarlo(4)
+	if err != nil {
+		return err
+	}
+	if payload.Iterations != want.Iterations || len(payload.Sets) != len(want.Observed) {
+		return fmt.Errorf("served %d iterations over %d sets after cancel, batch %d over %d",
+			payload.Iterations, len(payload.Sets), want.Iterations, len(want.Observed))
+	}
+	for k, r := range payload.Sets {
+		if r.Observed != want.Observed[k] || r.Exceed != want.Exceed[k] || r.PValue != want.PValues[k] {
+			return fmt.Errorf("set %s after cancel: served (%v,%d,%v) != batch (%v,%d,%v)", r.Name,
+				r.Observed, r.Exceed, r.PValue, want.Observed[k], want.Exceed[k], want.PValues[k])
+		}
 	}
 	return nil
 }
