@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke speculation-smoke trace experiments
+.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke trace experiments
 
 # tier1 is the CI gate: formatting, vet, build, the full test suite under the
 # race detector (the recovery layer is concurrent by construction), a smoke
 # run of the streaming-execution benchmarks, an event-log round trip through
 # the real CLIs, the job-server self-test over real HTTP (including deadline
-# cancellation freeing its pool slot), and the speculation ablation's >= 3x
-# straggler-mitigation claim.
-tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke speculation-smoke
+# cancellation freeing its pool slot), the speculation ablation's >= 3x
+# straggler-mitigation claim, and the columnar engine's byte-parity and
+# >= 4x packed-storage claims.
+tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -59,6 +60,20 @@ server-smoke:
 # least 3x while launching no copies on straggler-free runs.
 speculation-smoke:
 	$(GO) run ./cmd/benchtab -exp speculation
+
+# columnar-smoke runs the same small analysis through the 2-bit packed engine
+# and the boxed per-row pipeline and diffs the per-set report byte for byte,
+# then runs the columnar ablation (which itself asserts bitwise parity, the
+# >= 4x cached-genotype reduction, and a fused-kernel speedup) and refreshes
+# the BENCH_columnar.json snapshot.
+columnar-smoke:
+	$(GO) run ./cmd/sparkscore -generate -patients 60 -snps 300 -sets 6 -iterations 10 \
+		-columnar=true -out $${TMPDIR:-/tmp}/sparkscore-columnar.tsv > /dev/null
+	$(GO) run ./cmd/sparkscore -generate -patients 60 -snps 300 -sets 6 -iterations 10 \
+		-columnar=false -out $${TMPDIR:-/tmp}/sparkscore-boxed.tsv > /dev/null
+	cmp $${TMPDIR:-/tmp}/sparkscore-columnar.tsv $${TMPDIR:-/tmp}/sparkscore-boxed.tsv
+	$(GO) run ./cmd/benchtab -exp columnar -json
+	@echo "columnar-smoke: packed and boxed reports identical"
 
 # trace runs the quickstart with a timeline listener and leaves a Chrome-trace
 # JSON next to the repo root (open in chrome://tracing or ui.perfetto.dev).

@@ -27,7 +27,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed for data generation and resampling")
 		events   = flag.String("events", "", "write one JSONL event log per measured run into this directory (render with sparkui)")
 		trace    = flag.String("trace", "", "write one Chrome-trace timeline per measured run into this directory")
-		jsonOut  = flag.Bool("json", false, "write the speculation experiment's grid to BENCH_speculation.json")
+		jsonOut  = flag.Bool("json", false, "write JSON snapshots: speculation to BENCH_speculation.json, columnar to BENCH_columnar.json")
 	)
 	flag.Parse()
 
@@ -45,6 +45,7 @@ func main() {
 	}
 	if *jsonOut {
 		h.SpeculationJSON = "BENCH_speculation.json"
+		h.ColumnarJSON = "BENCH_columnar.json"
 	}
 	start := time.Now()
 	var err error

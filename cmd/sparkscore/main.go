@@ -39,6 +39,7 @@ func main() {
 		iterations = flag.Int("iterations", 1000, "resampling iterations (B)")
 		family     = flag.String("family", "cox", `score family: "cox", "gaussian", or "binomial"`)
 		noCache    = flag.Bool("no-cache", false, "disable caching of the score-contribution RDD")
+		columnar   = flag.Bool("columnar", true, "use the 2-bit packed columnar genotype engine (false: boxed per-row pipeline)")
 		setStat    = flag.String("set-stat", "skat", `SNP-set statistic: "skat" or "burden"`)
 		betaWts    = flag.Bool("beta-weights", false, "replace input weights with Beta(MAF;1,25) weights (Wu et al. 2011)")
 		seed       = flag.Uint64("seed", 1, "seed for data generation and resampling")
@@ -101,7 +102,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{Family: *family, SetStatistic: *setStat, Seed: *seed}
+	opts := core.Options{Family: *family, SetStatistic: *setStat, Seed: *seed}.WithColumnar(*columnar)
 	if *noCache {
 		opts = opts.WithoutCache()
 	}

@@ -34,11 +34,31 @@ func (a *Analysis) SetAsymptotic() ([]SetAsymptoticResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	nullBC := a.broadcastNull(a.phenotype)
+	wBC := rdd.NewBroadcast(a.ctx, weights, int64(len(weights))*8)
+	var results []SetAsymptoticResult
+	if a.opts.columnar() {
+		results, err = a.setAsymptoticColumnar(nullBC, wBC)
+	} else {
+		results, err = a.setAsymptoticBoxed(nullBC, wBC)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].Name = a.sets[results[i].Set].Name
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Set < results[j].Set })
+	return results, nil
+}
+
+func (a *Analysis) setAsymptoticBoxed(nullBC *rdd.Broadcast[nullModel], wBC *rdd.Broadcast[data.Weights]) ([]SetAsymptoticResult, error) {
 	fgm, err := a.filteredGenotypes()
 	if err != nil {
 		return nil, err
 	}
 	member := a.membership
+	rowBytes := 8 + data.BoxedRowBytes(a.patients)
 	bySet := rdd.FlatMap(fgm, "bySet", func(r GenoRow) []rdd.KV[int, GenoRow] {
 		sets := member.Value()[r.SNP]
 		out := make([]rdd.KV[int, GenoRow], len(sets))
@@ -46,13 +66,13 @@ func (a *Analysis) SetAsymptotic() ([]SetAsymptoticResult, error) {
 			out[i] = rdd.KV[int, GenoRow]{K: k, V: r}
 		}
 		return out
-	}).SetSizeHint(int64(a.patients) + 40)
+	}).SetSizeHint(rowBytes)
 
-	grouped := rdd.GroupByKey(bySet, 0)
+	grouped := rdd.GroupByKey(bySet, 0).SetSizeFunc(func(kv rdd.KV[int, []GenoRow]) int64 {
+		return 32 + int64(len(kv.V))*(rowBytes-8)
+	})
 	family := a.opts.family()
 	statName := a.setStat.Name()
-	nullBC := a.broadcastNull(a.phenotype)
-	wBC := rdd.NewBroadcast(a.ctx, weights, int64(len(weights))*8)
 
 	perSet := rdd.Map(grouped, "liu", func(kv rdd.KV[int, []GenoRow]) SetAsymptoticResult {
 		nm := nullBC.Value()
@@ -66,30 +86,87 @@ func (a *Analysis) SetAsymptotic() ([]SetAsymptoticResult, error) {
 			rows[i] = r.G
 			w[i] = wBC.Value()[r.SNP]
 		}
-		res := SetAsymptoticResult{Set: kv.K, SNPs: len(rows)}
-		switch statName {
-		case "skat":
-			res.Observed, res.PValue, err = stats.SKATAsymptotic(model, rows, w)
-			if err != nil {
-				panic(err)
-			}
-		case "burden":
-			res.Observed, res.PValue = burdenAsymptotic(model, rows, w)
-		default:
-			panic(fmt.Sprintf("core: no asymptotic approximation for set statistic %q", statName))
-		}
-		return res
+		return setAsymptoticResult(statName, model, kv.K, rows, w)
 	}).SetSizeHint(48)
 
-	results, err := rdd.Collect(perSet)
+	return rdd.Collect(perSet)
+}
+
+// packedRow is the columnar SetAsymptotic shuffle unit: one SNP's 2-bit
+// packed genotype column, routed to each set containing it. The shuffle
+// moves (patients+3)/4 genotype bytes per row instead of a boxed vector.
+type packedRow struct {
+	SNP   int32
+	Bytes []byte
+}
+
+func (a *Analysis) setAsymptoticColumnar(nullBC *rdd.Broadcast[nullModel], wBC *rdd.Broadcast[data.Weights]) ([]SetAsymptoticResult, error) {
+	blocks, err := a.filteredGenotypeBlocks()
 	if err != nil {
 		return nil, err
 	}
-	for i := range results {
-		results[i].Name = a.sets[results[i].Set].Name
+	member := a.membership
+	patients := a.patients
+	rowBytes := int64(data.BlockRowBytes(patients))
+	bySet := rdd.FlatMap(blocks, "bySetPacked", func(b data.GenoBlock) []rdd.KV[int, packedRow] {
+		var out []rdd.KV[int, packedRow]
+		for r := 0; r < b.Rows(); r++ {
+			sets := member.Value()[int(b.SNPs[r])]
+			if len(sets) == 0 {
+				continue
+			}
+			pr := packedRow{SNP: b.SNPs[r], Bytes: b.Row(r)}
+			for _, k := range sets {
+				out = append(out, rdd.KV[int, packedRow]{K: k, V: pr})
+			}
+		}
+		return out
+	}).SetSizeHint(40 + rowBytes)
+
+	grouped := rdd.GroupByKey(bySet, 0).SetSizeFunc(func(kv rdd.KV[int, []packedRow]) int64 {
+		return 32 + int64(len(kv.V))*(32+rowBytes)
+	})
+	family := a.opts.family()
+	statName := a.setStat.Name()
+
+	perSet := rdd.Map(grouped, "liu", func(kv rdd.KV[int, []packedRow]) SetAsymptoticResult {
+		nm := nullBC.Value()
+		model, err := stats.NewAdjustedModel(family, nm.Ph, nm.Cov)
+		if err != nil {
+			panic(err)
+		}
+		rows := make([][]data.Genotype, len(kv.V))
+		w := make([]float64, len(kv.V))
+		for i, pr := range kv.V {
+			g := make([]data.Genotype, patients)
+			stats.DecodeDosageGenotypes(pr.Bytes, g)
+			rows[i] = g
+			w[i] = wBC.Value()[pr.SNP]
+		}
+		return setAsymptoticResult(statName, model, kv.K, rows, w)
+	}).SetSizeHint(48)
+
+	return rdd.Collect(perSet)
+}
+
+// setAsymptoticResult evaluates one set's asymptotic test from its decoded
+// genotype rows — shared by the boxed and columnar shuffles, so both layouts
+// feed identical inputs to the moment-matching step.
+func setAsymptoticResult(statName string, model stats.Model, set int, rows [][]data.Genotype, w []float64) SetAsymptoticResult {
+	res := SetAsymptoticResult{Set: set, SNPs: len(rows)}
+	var err error
+	switch statName {
+	case "skat":
+		res.Observed, res.PValue, err = stats.SKATAsymptotic(model, rows, w)
+		if err != nil {
+			panic(err)
+		}
+	case "burden":
+		res.Observed, res.PValue = burdenAsymptotic(model, rows, w)
+	default:
+		panic(fmt.Sprintf("core: no asymptotic approximation for set statistic %q", statName))
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Set < results[j].Set })
-	return results, nil
+	return res
 }
 
 // burdenAsymptotic tests the burden statistic (Σ ω U)² against its 1-df

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/data"
+	"sparkscore/internal/rdd"
+)
+
+// columnarRun executes one Monte Carlo analysis in the given engine mode and
+// returns the result plus the run's stripped event-log fingerprint.
+func columnarRun(t *testing.T, ds *data.Dataset, columnar bool, faults rdd.FaultProfile, iters int) (*Result, string) {
+	t.Helper()
+	var logBuf bytes.Buffer
+	elw := rdd.NewEventLogWriter(&logBuf)
+	ctx, err := rdd.New(rdd.Config{
+		Cluster:      cluster.Config{Nodes: 3, Spec: cluster.M3TwoXLarge},
+		DFSBlockSize: 4 << 10,
+		Seed:         11,
+		Faults:       faults,
+		Listeners:    []rdd.Listener{elw},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stagedAnalysis(t, ctx, ds, Options{Seed: 7}.WithColumnar(columnar))
+	res, err := a.MonteCarlo(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := elw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := rdd.ReadEventLog(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fp bytes.Buffer
+	for _, ev := range events {
+		line, err := rdd.MarshalEvent(rdd.StripMeasuredTime(ev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp.Write(line)
+		fp.WriteByte('\n')
+	}
+	return res, fp.String()
+}
+
+// assertBitwiseResult compares two resampling results for exact (bitwise)
+// float equality — the packed engine must not perturb a single ULP.
+func assertBitwiseResult(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.Iterations != want.Iterations {
+		t.Fatalf("Iterations = %d, want %d", got.Iterations, want.Iterations)
+	}
+	if len(got.Observed) != len(want.Observed) {
+		t.Fatalf("%d sets, want %d", len(got.Observed), len(want.Observed))
+	}
+	for k := range want.Observed {
+		if got.Observed[k] != want.Observed[k] {
+			t.Fatalf("Observed[%d] = %v, want %v", k, got.Observed[k], want.Observed[k])
+		}
+		if got.Exceed[k] != want.Exceed[k] {
+			t.Fatalf("Exceed[%d] = %d, want %d", k, got.Exceed[k], want.Exceed[k])
+		}
+		if got.PValues[k] != want.PValues[k] {
+			t.Fatalf("PValues[%d] = %v, want %v", k, got.PValues[k], want.PValues[k])
+		}
+	}
+}
+
+// TestColumnarBoxedByteParity is the ablation pin of the columnar engine:
+// at two dataset scales, observed statistics, exceedance counters, and
+// p-values must agree bitwise between the packed and boxed pipelines, and
+// each mode's stripped event log must be byte-stable across reruns.
+func TestColumnarBoxedByteParity(t *testing.T) {
+	cases := []struct {
+		name                  string
+		patients, snps, tsets int
+	}{
+		{"small", 25, 60, 5},
+		{"medium", 61, 200, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := testDataset(t, tc.patients, tc.snps, tc.tsets, 21)
+			packed, fpPacked := columnarRun(t, ds, true, rdd.FaultProfile{}, 4)
+			boxed, fpBoxed := columnarRun(t, ds, false, rdd.FaultProfile{}, 4)
+			assertBitwiseResult(t, packed, boxed)
+
+			packed2, fpPacked2 := columnarRun(t, ds, true, rdd.FaultProfile{}, 4)
+			assertBitwiseResult(t, packed2, packed)
+			if fpPacked != fpPacked2 {
+				t.Fatal("columnar stripped event log not byte-stable across reruns")
+			}
+			boxed2, fpBoxed2 := columnarRun(t, ds, false, rdd.FaultProfile{}, 4)
+			assertBitwiseResult(t, boxed2, boxed)
+			if fpBoxed != fpBoxed2 {
+				t.Fatal("boxed stripped event log not byte-stable across reruns")
+			}
+		})
+	}
+}
+
+// TestColumnarBoxedParityUnderChaos repeats the parity pin under a fault
+// profile that crashes tasks, fails shuffle fetches, and loses a node
+// mid-run: recovery must not disturb the packed/boxed agreement, and the
+// chaos run must reproduce the clean run's numbers exactly.
+func TestColumnarBoxedParityUnderChaos(t *testing.T) {
+	faults := rdd.FaultProfile{
+		TaskCrashProb:    0.25,
+		FetchFailureProb: 0.15,
+		NodeLoss:         []rdd.NodeLoss{{Node: 0, AfterTasks: 8}},
+	}
+	ds := testDataset(t, 20, 40, 4, 7)
+	packed, _ := columnarRun(t, ds, true, faults, 5)
+	boxed, _ := columnarRun(t, ds, false, faults, 5)
+	assertBitwiseResult(t, packed, boxed)
+
+	clean, _ := columnarRun(t, ds, true, rdd.FaultProfile{}, 5)
+	assertBitwiseResult(t, packed, clean)
+}
+
+// TestColumnarAsymptoticParity pins the non-resampling paths: per-SNP and
+// per-set asymptotic tests must agree bitwise between the two layouts,
+// including result order.
+func TestColumnarAsymptoticParity(t *testing.T) {
+	ds := testDataset(t, 33, 90, 6, 3)
+	type pair struct {
+		marginal []MarginalResult
+		sets     []SetAsymptoticResult
+	}
+	run := func(columnar bool) pair {
+		ctx := testContext(t, 3)
+		a := stagedAnalysis(t, ctx, ds, Options{Family: "gaussian"}.WithColumnar(columnar))
+		m, err := a.MarginalAsymptotic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := a.SetAsymptotic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pair{marginal: m, sets: s}
+	}
+	packed, boxed := run(true), run(false)
+	if len(packed.marginal) != len(boxed.marginal) {
+		t.Fatalf("%d marginal results, want %d", len(packed.marginal), len(boxed.marginal))
+	}
+	for i := range boxed.marginal {
+		if packed.marginal[i] != boxed.marginal[i] {
+			t.Fatalf("marginal[%d] = %+v, want %+v", i, packed.marginal[i], boxed.marginal[i])
+		}
+	}
+	if len(packed.sets) != len(boxed.sets) {
+		t.Fatalf("%d set results, want %d", len(packed.sets), len(boxed.sets))
+	}
+	for i := range boxed.sets {
+		if packed.sets[i] != boxed.sets[i] {
+			t.Fatalf("set[%d] = %+v, want %+v", i, packed.sets[i], boxed.sets[i])
+		}
+	}
+}
+
+// TestWarmGenotypesPackedBytesRatio pins the storage win the columnar layout
+// exists for: with a realistic cohort, the cached packed genotype matrix
+// must be at least 4x smaller than the boxed one under honest (size-class
+// aware) cache accounting.
+func TestWarmGenotypesPackedBytesRatio(t *testing.T) {
+	ds := testDataset(t, 1000, 64, 4, 5)
+	measure := func(columnar bool) int64 {
+		ctx, err := rdd.New(rdd.Config{
+			Cluster:      cluster.Config{Nodes: 2, Spec: cluster.M3TwoXLarge},
+			DFSBlockSize: 1 << 20, // whole file per partition: full blocks
+			Seed:         11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := stagedAnalysis(t, ctx, ds, Options{}.WithColumnar(columnar))
+		if err := a.WarmGenotypes(); err != nil {
+			t.Fatal(err)
+		}
+		bytes := ctx.CachedBytes()
+		a.ReleaseGenotypes()
+		if after := ctx.CachedBytes(); after >= bytes {
+			t.Fatalf("ReleaseGenotypes left %d of %d cached bytes", after, bytes)
+		}
+		return bytes
+	}
+	packed, boxed := measure(true), measure(false)
+	if packed == 0 || boxed == 0 {
+		t.Fatalf("cached bytes packed=%d boxed=%d, want both non-zero", packed, boxed)
+	}
+	if ratio := float64(boxed) / float64(packed); ratio < 4 {
+		t.Fatalf("boxed/packed cached bytes = %.2f (boxed=%d packed=%d), want >= 4", ratio, boxed, packed)
+	}
+}
+
+// TestColumnarWarmServesResampling checks the Warm/Release lifecycle of the
+// packed engine: a Warm()ed analysis caches UBlocks, serves Replicate()
+// identically to the cold path, and Release drops the cache.
+func TestColumnarWarmServesResampling(t *testing.T) {
+	ctx := testContext(t, 2)
+	ds := testDataset(t, 30, 80, 5, 15)
+	a := stagedAnalysis(t, ctx, ds, Options{Seed: 4})
+	cold, err := a.Replicate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.CachedBytes() == 0 {
+		t.Fatal("Warm cached nothing")
+	}
+	warm, err := a.Replicate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range cold {
+		if warm[k] != cold[k] {
+			t.Fatalf("replicate[%d] = %v warm, %v cold", k, warm[k], cold[k])
+		}
+	}
+	warmBytes := ctx.CachedBytes()
+	a.Release()
+	// Only the small cached weights RDD may remain.
+	if got := ctx.CachedBytes(); got >= warmBytes {
+		t.Fatalf("%d bytes cached after Release, want fewer than %d", got, warmBytes)
+	}
+}

@@ -63,6 +63,14 @@ type Options struct {
 	// strong-scaling collapse (Figure 6).
 	DiskSpill bool
 
+	// Columnar selects the 2-bit packed genotype engine (default on):
+	// RDD_FGM carries data.GenoBlock columns, contributions are computed by
+	// blocked kernels, and Monte Carlo reweighting is a matrix–vector
+	// product over cached stats.UBlock rows. False falls back to the boxed
+	// per-row pipeline — the ablation baseline, pinned byte-identical to the
+	// columnar results.
+	Columnar *bool
+
 	// Seed drives the resampling draws; a fixed seed reproduces p-values.
 	Seed uint64
 }
@@ -76,12 +84,21 @@ func (o Options) family() string {
 
 func (o Options) cache() bool { return o.Cache == nil || *o.Cache }
 
+func (o Options) columnar() bool { return o.Columnar == nil || *o.Columnar }
+
 // CacheOff is a convenience for Options.Cache.
 var cacheOff = false
 
 // WithoutCache returns a copy of o with caching disabled.
 func (o Options) WithoutCache() Options {
 	o.Cache = &cacheOff
+	return o
+}
+
+// WithColumnar returns a copy of o with the columnar engine switched on or
+// off (the packed-vs-boxed ablation flag).
+func (o Options) WithColumnar(on bool) Options {
+	o.Columnar = &on
 	return o
 }
 
@@ -123,9 +140,16 @@ type Analysis struct {
 	genoPath    string
 	setStat     stats.SetStatistic
 
-	// warmU, when non-nil, is a cached RDD U kept alive across resampling
-	// calls (see Warm).
-	warmU *rdd.RDD[rdd.KV[int, []float64]]
+	// warmU / warmUB, when non-nil, is a cached RDD U kept alive across
+	// resampling calls (see Warm) — boxed per-row vectors or columnar
+	// stats.UBlock matrices, depending on Options.Columnar.
+	warmU  *rdd.RDD[rdd.KV[int, []float64]]
+	warmUB *rdd.RDD[stats.UBlock]
+
+	// warmFGM / warmFGMB, when non-nil, is the cached filtered genotype
+	// matrix (see WarmGenotypes) in the corresponding layout.
+	warmFGM  *rdd.RDD[GenoRow]
+	warmFGMB *rdd.RDD[data.GenoBlock]
 }
 
 // NewAnalysis reads the small inputs (phenotype, SNP-sets) onto the driver,
@@ -221,9 +245,17 @@ func (a *Analysis) Sets() data.SNPSets { return a.sets }
 // Patients returns the cohort size.
 func (a *Analysis) Patients() int { return a.patients }
 
-// filteredGenotypes builds RDD_FGM: the parsed genotype matrix restricted to
-// SNPs appearing in some SNP-set (Algorithm 1 steps 3–5).
+// genoBlockRows is the number of SNP rows packed into one data.GenoBlock by
+// the columnar ingest. Blocks never span text partitions, so a partition's
+// final block may be shorter.
+const genoBlockRows = 256
+
+// filteredGenotypes builds the boxed RDD_FGM: the parsed genotype matrix
+// restricted to SNPs appearing in some SNP-set (Algorithm 1 steps 3–5).
 func (a *Analysis) filteredGenotypes() (*rdd.RDD[GenoRow], error) {
+	if a.warmFGM != nil {
+		return a.warmFGM, nil
+	}
 	lines, err := a.ctx.TextFile(a.genoPath, 0)
 	if err != nil {
 		return nil, err
@@ -235,12 +267,50 @@ func (a *Analysis) filteredGenotypes() (*rdd.RDD[GenoRow], error) {
 			panic(err)
 		}
 		return row
-	}).SetSizeHint(int64(a.patients) + 32)
+	}).SetSizeHint(8 + data.BoxedRowBytes(patients))
 	member := a.membership
 	return rdd.Filter(gm, "inSNPSets", func(r GenoRow) bool {
 		_, ok := member.Value()[r.SNP]
 		return ok
 	}), nil
+}
+
+// filteredGenotypeBlocks builds the columnar RDD_FGM: genotype lines parsed
+// and 2-bit packed into data.GenoBlock columns at the source, restricted to
+// SNPs appearing in some SNP-set. The membership filter runs on the SNP-id
+// prefix alone, before any genotype field is decoded (predicate pushdown),
+// and the pack fuses with the text scan — no boxed row ever materialises.
+func (a *Analysis) filteredGenotypeBlocks() (*rdd.RDD[data.GenoBlock], error) {
+	if a.warmFGMB != nil {
+		return a.warmFGMB, nil
+	}
+	lines, err := a.ctx.TextFile(a.genoPath, 0)
+	if err != nil {
+		return nil, err
+	}
+	patients := a.patients
+	member := a.membership
+	blocks := rdd.MapBatches(lines, "parsePackGenotypes", genoBlockRows, func(_ int, batch []string) data.GenoBlock {
+		blk := data.NewGenoBlock(patients, len(batch))
+		for _, line := range batch {
+			snp, rest, err := parseSNPPrefix(line)
+			if err != nil {
+				panic(err)
+			}
+			if _, ok := member.Value()[snp]; !ok {
+				continue
+			}
+			if err := blk.AppendTextRow(snp, rest); err != nil {
+				panic(fmt.Errorf("core: SNP %d: %v", snp, err))
+			}
+		}
+		return blk
+	})
+	nonEmpty := rdd.Filter(blocks, "nonEmptyBlocks", func(b data.GenoBlock) bool {
+		return b.Rows() > 0
+	})
+	fullBlock := int64(genoBlockRows)*(int64(data.BlockRowBytes(patients))+8) + 96
+	return nonEmpty.SetSizeHint(fullBlock).SetSizeFunc(data.GenoBlock.ApproxBytes), nil
 }
 
 // nullModel bundles what executors need to build the score model: the
@@ -278,15 +348,33 @@ func (a *Analysis) contributionsRDD(fgm *rdd.RDD[GenoRow], ph *data.Phenotype) *
 			return rdd.KV[int, []float64]{K: row.SNP, V: u}
 		}
 	})
-	return u.SetSizeHint(int64(a.patients)*8 + 48)
+	return u.SetSizeHint(32 + data.AllocBytes(int64(a.patients)*8))
 }
 
-// skatFromU runs Algorithm 1 steps 8–12 over an existing RDD U: form the
-// (optionally Monte Carlo-reweighted) marginal scores, join the weights,
-// apply the set statistic's per-SNP term, aggregate into SNP-sets with a
-// reduce, finalise per set, and return S indexed by set. mc is nil for the
-// observed statistic and the per-patient weights Z otherwise (Algorithm 3
-// step 4(I)).
+// contributionBlocks is the columnar counterpart of contributionsRDD: each
+// packed genotype block maps to a stats.UBlock through a blocked kernel that
+// fuses the 2-bit dosage decode with the score accumulation. The kernel is
+// built once per partition and owns its decode scratch, so steady-state
+// allocations per block stay flat regardless of the patient count.
+func (a *Analysis) contributionBlocks(blocks *rdd.RDD[data.GenoBlock], ph *data.Phenotype) *rdd.RDD[stats.UBlock] {
+	family := a.opts.family()
+	bc := a.broadcastNull(ph)
+	u := rdd.MapWithSetup(blocks, "blockContributions", func(int) func(data.GenoBlock) stats.UBlock {
+		nm := bc.Value()
+		model, err := stats.NewAdjustedModel(family, nm.Ph, nm.Cov)
+		if err != nil {
+			panic(err)
+		}
+		return stats.NewBlockKernel(model).Contributions
+	})
+	fullBlock := int64(genoBlockRows)*(int64(a.patients)*8+4) + 96
+	return u.SetSizeHint(fullBlock).SetSizeFunc(stats.UBlock.ApproxBytes)
+}
+
+// skatFromU runs Algorithm 1 steps 8–12 over a boxed RDD U: form the
+// (optionally Monte Carlo-reweighted) marginal scores, then hand the per-SNP
+// scores to skatFromScores. mc is nil for the observed statistic and the
+// per-patient weights Z otherwise (Algorithm 3 step 4(I)).
 func (a *Analysis) skatFromU(u *rdd.RDD[rdd.KV[int, []float64]], mc []float64) ([]float64, error) {
 	var mcb *rdd.Broadcast[[]float64]
 	if mc != nil {
@@ -306,7 +394,39 @@ func (a *Analysis) skatFromU(u *rdd.RDD[rdd.KV[int, []float64]], mc []float64) (
 		}
 		return rdd.KV[int, float64]{K: kv.K, V: s}
 	}).SetSizeHint(16)
+	return a.skatFromScores(inner)
+}
 
+// skatFromUBlocks is the columnar counterpart of skatFromU: marginal scores
+// come from a matrix–vector product over each cached stats.UBlock (one pass
+// over the flat contribution matrix), then flow through the same join and
+// set aggregation. Blocks emit their per-row scores in row order, so the
+// downstream float sums accumulate in exactly the boxed pipeline's order —
+// the statistics match the boxed path bitwise.
+func (a *Analysis) skatFromUBlocks(u *rdd.RDD[stats.UBlock], mc []float64) ([]float64, error) {
+	var mcb *rdd.Broadcast[[]float64]
+	if mc != nil {
+		mcb = rdd.NewBroadcast(a.ctx, mc, int64(len(mc))*8)
+	}
+	inner := rdd.FlatMap(u, "blockScores", func(b stats.UBlock) []rdd.KV[int, float64] {
+		var z []float64
+		if mcb != nil {
+			z = mcb.Value()
+		}
+		scores := b.Scores(z, nil)
+		out := make([]rdd.KV[int, float64], len(scores))
+		for r, s := range scores {
+			out[r] = rdd.KV[int, float64]{K: int(b.SNPs[r]), V: s}
+		}
+		return out
+	}).SetSizeHint(16)
+	return a.skatFromScores(inner)
+}
+
+// skatFromScores finishes Algorithm 1 from per-SNP marginal scores: join the
+// weights, apply the set statistic's per-SNP term, aggregate into SNP-sets
+// with a reduce, finalise per set, and return S indexed by set.
+func (a *Analysis) skatFromScores(inner *rdd.RDD[rdd.KV[int, float64]]) ([]float64, error) {
 	joined := rdd.Join(a.weightsRDD, inner, 0)
 	setStat := a.setStat
 	snpScore := rdd.Map(joined, "snpScore", func(kv rdd.KV[int, rdd.JoinPair[float64, float64]]) rdd.KV[int, float64] {
@@ -334,13 +454,73 @@ func (a *Analysis) skatFromU(u *rdd.RDD[rdd.KV[int, []float64]], mc []float64) (
 	return s, nil
 }
 
-// Observed computes the observed SKAT statistics S_k^0 (Algorithm 1).
-func (a *Analysis) Observed() ([]float64, error) {
+// repFunc computes one resampling pass over a built RDD U: the observed
+// statistic for z == nil, or the Monte Carlo reweighted statistic for
+// per-patient draws z.
+type repFunc func(z []float64) ([]float64, error)
+
+// contributionSource builds RDD U in the engine selected by Options.Columnar
+// (or reuses the Warm()ed one) and returns the resampling pass over it. When
+// cache is true and the RDD was built fresh it is persisted for the lifetime
+// of the source; release drops it (and is a no-op otherwise).
+func (a *Analysis) contributionSource(cache bool) (rep repFunc, release func(), err error) {
+	release = func() {}
+	if a.opts.columnar() {
+		u := a.warmUB
+		if u == nil {
+			blocks, err := a.filteredGenotypeBlocks()
+			if err != nil {
+				return nil, nil, err
+			}
+			u = a.contributionBlocks(blocks, a.phenotype)
+			if cache {
+				u.Persist(a.persistLevel())
+				release = u.Unpersist
+			}
+		}
+		return func(z []float64) ([]float64, error) { return a.skatFromUBlocks(u, z) }, release, nil
+	}
+	u := a.warmU
+	if u == nil {
+		fgm, err := a.filteredGenotypes()
+		if err != nil {
+			return nil, nil, err
+		}
+		u = a.contributionsRDD(fgm, a.phenotype)
+		if cache {
+			u.Persist(a.persistLevel())
+			release = u.Unpersist
+		}
+	}
+	return func(z []float64) ([]float64, error) { return a.skatFromU(u, z) }, release, nil
+}
+
+// pipelineOnce runs the full Algorithm 1 pipeline once for the given
+// phenotype, in the engine selected by Options.Columnar — the unit of work a
+// permutation replicate re-executes.
+func (a *Analysis) pipelineOnce(ph *data.Phenotype) ([]float64, error) {
+	if a.opts.columnar() {
+		blocks, err := a.filteredGenotypeBlocks()
+		if err != nil {
+			return nil, err
+		}
+		return a.skatFromUBlocks(a.contributionBlocks(blocks, ph), nil)
+	}
 	fgm, err := a.filteredGenotypes()
 	if err != nil {
 		return nil, err
 	}
-	return a.skatFromU(a.contributionsRDD(fgm, a.phenotype), nil)
+	return a.skatFromU(a.contributionsRDD(fgm, ph), nil)
+}
+
+// Observed computes the observed SKAT statistics S_k^0 (Algorithm 1).
+func (a *Analysis) Observed() ([]float64, error) {
+	rep, release, err := a.contributionSource(false)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return rep(nil)
 }
 
 // Permutation runs Algorithm 2: the observed statistic, then B full pipeline
@@ -363,11 +543,7 @@ func (a *Analysis) Permutation(iterations int) (*Result, error) {
 	root := rng.New(a.opts.Seed ^ 0x5ca1ab1e)
 	for b := 1; b <= iterations; b++ {
 		perm := root.Split(uint64(b)).Perm(a.patients)
-		fgm, err := a.filteredGenotypes()
-		if err != nil {
-			return nil, err
-		}
-		rep, err := a.skatFromU(a.contributionsRDD(fgm, a.phenotype.Permuted(perm)), nil)
+		rep, err := a.pipelineOnce(a.phenotype.Permuted(perm))
 		if err != nil {
 			return nil, fmt.Errorf("core: permutation replicate %d: %w", b, err)
 		}
@@ -389,6 +565,22 @@ func (a *Analysis) persistLevel() rdd.StorageLevel {
 // useful when several Monte Carlo analyses run against the same data.
 // Release drops it.
 func (a *Analysis) Warm() error {
+	if a.opts.columnar() {
+		if a.warmUB != nil {
+			return nil
+		}
+		blocks, err := a.filteredGenotypeBlocks()
+		if err != nil {
+			return err
+		}
+		u := a.contributionBlocks(blocks, a.phenotype).Persist(a.persistLevel())
+		if _, err := rdd.Count(u); err != nil {
+			u.Unpersist()
+			return err
+		}
+		a.warmUB = u
+		return nil
+	}
 	if a.warmU != nil {
 		return nil
 	}
@@ -411,6 +603,60 @@ func (a *Analysis) Release() {
 		a.warmU.Unpersist()
 		a.warmU = nil
 	}
+	if a.warmUB != nil {
+		a.warmUB.Unpersist()
+		a.warmUB = nil
+	}
+}
+
+// WarmGenotypes materialises RDD_FGM — the filtered genotype matrix, packed
+// or boxed per Options.Columnar — and keeps it cached; subsequent pipeline
+// builds read the cached matrix instead of re-scanning the text file. The
+// harness uses the cached footprint of each layout as the columnar
+// experiment's storage measurement.
+func (a *Analysis) WarmGenotypes() error {
+	if a.opts.columnar() {
+		if a.warmFGMB != nil {
+			return nil
+		}
+		blocks, err := a.filteredGenotypeBlocks()
+		if err != nil {
+			return err
+		}
+		blocks.Persist(a.persistLevel())
+		if _, err := rdd.Count(blocks); err != nil {
+			blocks.Unpersist()
+			return err
+		}
+		a.warmFGMB = blocks
+		return nil
+	}
+	if a.warmFGM != nil {
+		return nil
+	}
+	fgm, err := a.filteredGenotypes()
+	if err != nil {
+		return err
+	}
+	fgm.Persist(a.persistLevel())
+	if _, err := rdd.Count(fgm); err != nil {
+		fgm.Unpersist()
+		return err
+	}
+	a.warmFGM = fgm
+	return nil
+}
+
+// ReleaseGenotypes drops the cached RDD_FGM retained by WarmGenotypes.
+func (a *Analysis) ReleaseGenotypes() {
+	if a.warmFGM != nil {
+		a.warmFGM.Unpersist()
+		a.warmFGM = nil
+	}
+	if a.warmFGMB != nil {
+		a.warmFGMB.Unpersist()
+		a.warmFGMB = nil
+	}
 }
 
 // MonteCarlo runs Algorithm 3: the observed statistic with RDD U cached,
@@ -419,19 +665,12 @@ func (a *Analysis) MonteCarlo(iterations int) (*Result, error) {
 	if iterations < 0 {
 		return nil, fmt.Errorf("core: %d iterations", iterations)
 	}
-	u := a.warmU
-	if u == nil {
-		fgm, err := a.filteredGenotypes()
-		if err != nil {
-			return nil, err
-		}
-		u = a.contributionsRDD(fgm, a.phenotype)
-		if a.opts.cache() {
-			u.Persist(a.persistLevel())
-			defer u.Unpersist()
-		}
+	rep, release, err := a.contributionSource(a.opts.cache())
+	if err != nil {
+		return nil, err
 	}
-	observed, err := a.skatFromU(u, nil)
+	defer release()
+	observed, err := rep(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -443,11 +682,11 @@ func (a *Analysis) MonteCarlo(iterations int) (*Result, error) {
 		for i := range z {
 			z[i] = r.Normal()
 		}
-		rep, err := a.skatFromU(u, z)
+		s, err := rep(z)
 		if err != nil {
 			return nil, fmt.Errorf("core: Monte Carlo replicate %d: %w", b, err)
 		}
-		counter.Add(rep)
+		counter.Add(s)
 	}
 	return a.result(observed, counter), nil
 }
@@ -459,20 +698,17 @@ func (a *Analysis) MonteCarlo(iterations int) (*Result, error) {
 // so served replicates and batch runs agree. Against a Warm()ed analysis it
 // is a single cached-read job, cheap enough to serve at interactive latency.
 func (a *Analysis) Replicate(replicate uint64) ([]float64, error) {
-	u := a.warmU
-	if u == nil {
-		fgm, err := a.filteredGenotypes()
-		if err != nil {
-			return nil, err
-		}
-		u = a.contributionsRDD(fgm, a.phenotype)
+	rep, release, err := a.contributionSource(false)
+	if err != nil {
+		return nil, err
 	}
+	defer release()
 	r := rng.New(a.opts.Seed ^ 0xcafe).Split(replicate)
 	z := make([]float64, a.patients)
 	for i := range z {
 		z[i] = r.Normal()
 	}
-	return a.skatFromU(u, z)
+	return rep(z)
 }
 
 func (a *Analysis) result(observed []float64, counter *stats.Counter) *Result {
@@ -500,6 +736,9 @@ type MarginalResult struct {
 
 // MarginalAsymptotic computes per-SNP asymptotic score tests.
 func (a *Analysis) MarginalAsymptotic() ([]MarginalResult, error) {
+	if a.opts.columnar() {
+		return a.marginalAsymptoticColumnar()
+	}
 	fgm, err := a.filteredGenotypes()
 	if err != nil {
 		return nil, err
@@ -513,14 +752,7 @@ func (a *Analysis) MarginalAsymptotic() ([]MarginalResult, error) {
 			panic(err)
 		}
 		return func(row GenoRow) MarginalResult {
-			score := stats.Score(model, row.G)
-			variance := model.Variance(row.G)
-			return MarginalResult{
-				SNP:      row.SNP,
-				Score:    score,
-				Variance: variance,
-				PValue:   stats.ChiSquaredSurvival(stats.Chi2Stat(score, variance), 1),
-			}
+			return marginalResult(model, row.SNP, row.G)
 		}
 	}).SetSizeHint(40)
 	results, err := rdd.Collect(perSNP)
@@ -530,15 +762,76 @@ func (a *Analysis) MarginalAsymptotic() ([]MarginalResult, error) {
 	return results, nil
 }
 
-// ParseGenotypeLine parses one genotype-matrix line ("snp\tg1 g2 ... gn").
-func ParseGenotypeLine(line string, patients int) (GenoRow, error) {
+// marginalAsymptoticColumnar is MarginalAsymptotic over packed blocks: each
+// block decodes row by row into the kernel's scratch buffer and evaluates
+// the same score and variance terms, so results match the boxed path
+// bitwise.
+func (a *Analysis) marginalAsymptoticColumnar() ([]MarginalResult, error) {
+	blocks, err := a.filteredGenotypeBlocks()
+	if err != nil {
+		return nil, err
+	}
+	family := a.opts.family()
+	bc := a.broadcastNull(a.phenotype)
+	perBlock := rdd.MapWithSetup(blocks, "asymptoticBlocks", func(int) func(data.GenoBlock) []MarginalResult {
+		nm := bc.Value()
+		model, err := stats.NewAdjustedModel(family, nm.Ph, nm.Cov)
+		if err != nil {
+			panic(err)
+		}
+		k := stats.NewBlockKernel(model)
+		return func(b data.GenoBlock) []MarginalResult {
+			out := make([]MarginalResult, b.Rows())
+			for r := range out {
+				out[r] = marginalResult(model, int(b.SNPs[r]), k.Decode(b, r))
+			}
+			return out
+		}
+	}).SetSizeHint(int64(genoBlockRows)*40 + 24)
+	perSNP := rdd.FlatMap(perBlock, "asymptotic", func(rs []MarginalResult) []MarginalResult {
+		return rs
+	}).SetSizeHint(40)
+	results, err := rdd.Collect(perSNP)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func marginalResult(model stats.Model, snp int, g []data.Genotype) MarginalResult {
+	score := stats.Score(model, g)
+	variance := model.Variance(g)
+	return MarginalResult{
+		SNP:      snp,
+		Score:    score,
+		Variance: variance,
+		PValue:   stats.ChiSquaredSurvival(stats.Chi2Stat(score, variance), 1),
+	}
+}
+
+// parseSNPPrefix splits a genotype-matrix line into its SNP id and the
+// genotype fields after the tab — the cheap prefix parse the columnar ingest
+// runs before deciding whether to decode the fields at all.
+func parseSNPPrefix(line string) (int, string, error) {
+	if strings.TrimSpace(line) == "" {
+		return 0, "", fmt.Errorf("core: empty genotype line")
+	}
 	snpStr, rest, ok := strings.Cut(line, "\t")
 	if !ok {
-		return GenoRow{}, fmt.Errorf("core: genotype line missing tab: %q", truncate(line))
+		return 0, "", fmt.Errorf("core: genotype line missing tab: %q", truncate(line))
 	}
 	snp, err := strconv.Atoi(snpStr)
 	if err != nil || snp < 0 {
-		return GenoRow{}, fmt.Errorf("core: bad SNP id %q", snpStr)
+		return 0, "", fmt.Errorf("core: bad SNP id %q", snpStr)
+	}
+	return snp, rest, nil
+}
+
+// ParseGenotypeLine parses one genotype-matrix line ("snp\tg1 g2 ... gn").
+func ParseGenotypeLine(line string, patients int) (GenoRow, error) {
+	snp, rest, err := parseSNPPrefix(line)
+	if err != nil {
+		return GenoRow{}, err
 	}
 	g, err := data.ParseGenotypeFields(strings.Fields(rest))
 	if err != nil {

@@ -1,13 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"testing"
 
-	"bytes"
 	"sparkscore/internal/cluster"
 	"sparkscore/internal/data"
-
 	"sparkscore/internal/gen"
 	"sparkscore/internal/rdd"
 	"sparkscore/internal/rng"
@@ -335,23 +335,42 @@ func TestMarginalAsymptotic(t *testing.T) {
 }
 
 func TestParseGenotypeLineErrors(t *testing.T) {
-	if _, err := ParseGenotypeLine("no-tab-here", 3); err == nil {
-		t.Fatal("missing tab accepted")
+	// Error cases must name the offending SNP and field so a bad line in a
+	// multi-gigabyte genotype file is findable from the message alone.
+	wantErr := func(line, msg string, patients int) {
+		t.Helper()
+		_, err := ParseGenotypeLine(line, patients)
+		if err == nil {
+			t.Fatalf("ParseGenotypeLine(%q) accepted, want error containing %q", line, msg)
+		}
+		if !strings.Contains(err.Error(), msg) {
+			t.Fatalf("ParseGenotypeLine(%q) = %q, want message containing %q", line, err, msg)
+		}
 	}
-	if _, err := ParseGenotypeLine("x\t0 1 2", 3); err == nil {
-		t.Fatal("bad SNP id accepted")
-	}
-	if _, err := ParseGenotypeLine("0\t0 1", 3); err == nil {
-		t.Fatal("wrong patient count accepted")
-	}
-	if _, err := ParseGenotypeLine("0\t0 1 7", 3); err == nil {
-		t.Fatal("genotype 7 accepted")
-	}
+	wantErr("no-tab-here", "missing tab", 3)
+	wantErr("x\t0 1 2", `bad SNP id "x"`, 3)
+	wantErr("-2\t0 1 2", `bad SNP id "-2"`, 3)
+	wantErr("", "empty genotype line", 3)
+	wantErr("   ", "empty genotype line", 3)
+	wantErr("0\t0 1", "SNP 0 has 2 genotypes, want 3", 3)          // missing genotype
+	wantErr("0\t0 1 2 1", "SNP 0 has 4 genotypes, want 3", 3)      // extra genotype
+	wantErr("5\t0 1 7", `SNP 5: field 3: bad genotype "7"`, 3)     // out-of-domain code
+	wantErr("5\t0 x 2", `SNP 5: field 2: bad genotype "x"`, 3)     // non-numeric code
+	wantErr("5\t0 1 2.0", `SNP 5: field 3: bad genotype "2.0"`, 3) // non-integer code
+
 	row, err := ParseGenotypeLine("4\t0 1 2", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if row.SNP != 4 || row.G[2] != 2 {
+		t.Fatalf("row = %+v", row)
+	}
+	// Trailing and repeated whitespace is tolerated, not an extra field.
+	row, err = ParseGenotypeLine("4\t0  1 2 \t", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SNP != 4 || row.G[0] != 0 || row.G[1] != 1 || row.G[2] != 2 {
 		t.Fatalf("row = %+v", row)
 	}
 }

@@ -1,0 +1,295 @@
+// GenoBlock: the engine's columnar genotype unit. A block holds N SNP rows
+// 2-bit packed in PLINK-BED code order (4 genotypes per byte, little-endian
+// lanes: patient i lives in byte i/4, bits 2*(i%4)..2*(i%4)+1), alongside the
+// SNP ids and per-row minor-allele counts. Packing a 1000-patient row costs
+// 250 bytes instead of the ~1 KiB boxed []Genotype slice, so four times as
+// many cached genotype partitions fit per executor, and score kernels can
+// decode dosages straight out of the packed bytes in one pass.
+//
+// The 2-bit codes follow the PLINK .bed convention:
+//
+//	code 00 -> 2 (homozygous minor)
+//	code 01 -> missing
+//	code 10 -> 1 (heterozygous)
+//	code 11 -> 0 (homozygous major)
+package data
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MissingGenotype marks an uncalled genotype. It never appears in the text
+// formats (which only carry {0,1,2}) but is representable in packed blocks,
+// as in PLINK .bed files; score kernels treat it as dosage zero.
+const MissingGenotype Genotype = -1
+
+// CodeGenotypes maps each 2-bit PLINK-BED code to its genotype value.
+var CodeGenotypes = [4]Genotype{2, MissingGenotype, 1, 0}
+
+// genoCodes maps genotype value +1 (so MissingGenotype indexes 0) to its
+// 2-bit code.
+var genoCodes = [4]byte{1, 3, 2, 0}
+
+// BlockRowBytes returns the packed size of one SNP row: 4 genotypes per byte.
+func BlockRowBytes(patients int) int { return (patients + 3) / 4 }
+
+// GenoBlock is a columnar block of packed genotype rows. Blocks are the
+// cache and shuffle unit of the columnar engine: one block replaces up to a
+// few hundred boxed rows.
+type GenoBlock struct {
+	// Patients is the number of genotypes per row.
+	Patients int
+	// RowBytes is BlockRowBytes(Patients), kept so row slicing needs no
+	// division.
+	RowBytes int
+	// SNPs holds the SNP id of each row, in row order.
+	SNPs []int32
+	// Counts holds each row's minor-allele count (missing excluded) — the
+	// per-row summary MAF-style weighting and QC filters read without a
+	// decode.
+	Counts []int32
+	// Packed holds the rows back to back: row r is
+	// Packed[r*RowBytes : (r+1)*RowBytes].
+	Packed []byte
+}
+
+// NewGenoBlock returns an empty block for the given patient count with
+// capacity for capRows rows.
+func NewGenoBlock(patients, capRows int) GenoBlock {
+	rb := BlockRowBytes(patients)
+	return GenoBlock{
+		Patients: patients,
+		RowBytes: rb,
+		SNPs:     make([]int32, 0, capRows),
+		Counts:   make([]int32, 0, capRows),
+		Packed:   make([]byte, 0, capRows*rb),
+	}
+}
+
+// Rows returns the number of SNP rows in the block.
+func (b *GenoBlock) Rows() int { return len(b.SNPs) }
+
+// Row returns the packed bytes of row r.
+func (b *GenoBlock) Row(r int) []byte {
+	return b.Packed[r*b.RowBytes : (r+1)*b.RowBytes]
+}
+
+// AppendRow packs one SNP row onto the block. Genotypes must be in
+// {MissingGenotype, 0, 1, 2}.
+func (b *GenoBlock) AppendRow(snp int, g []Genotype) error {
+	if len(g) != b.Patients {
+		return fmt.Errorf("data: SNP %d has %d genotypes, want %d", snp, len(g), b.Patients)
+	}
+	base := len(b.Packed)
+	b.Packed = append(b.Packed, make([]byte, b.RowBytes)...)
+	row := b.Packed[base:]
+	var count int32
+	for i, v := range g {
+		if v < MissingGenotype || v > 2 {
+			b.Packed = b.Packed[:base]
+			return fmt.Errorf("data: SNP %d patient %d has genotype %d outside {missing,0,1,2}", snp, i, v)
+		}
+		row[i>>2] |= genoCodes[v+1] << uint((i&3)*2)
+		if v > 0 {
+			count += int32(v)
+		}
+	}
+	b.SNPs = append(b.SNPs, int32(snp))
+	b.Counts = append(b.Counts, count)
+	return nil
+}
+
+// AppendTextRow parses one row's genotype fields ("g_1 g_2 ... g_n",
+// whitespace-separated, values in {0,1,2}) directly into packed form — the
+// text codec of the columnar parse path, which never materialises a boxed
+// []Genotype row. Errors name the offending 1-based field.
+func (b *GenoBlock) AppendTextRow(snp int, fields string) error {
+	base := len(b.Packed)
+	b.Packed = append(b.Packed, make([]byte, b.RowBytes)...)
+	row := b.Packed[base:]
+	var count int32
+	i := 0
+	for f, rest := nextField(fields); f != ""; f, rest = nextField(rest) {
+		if i >= b.Patients {
+			i++
+			continue // count the surplus for the error below
+		}
+		var v Genotype
+		switch f {
+		case "0":
+			v = 0
+		case "1":
+			v = 1
+		case "2":
+			v = 2
+		default:
+			b.Packed = b.Packed[:base]
+			return fmt.Errorf("data: field %d: bad genotype %q", i+1, f)
+		}
+		row[i>>2] |= genoCodes[v+1] << uint((i&3)*2)
+		count += int32(v)
+		i++
+	}
+	if i != b.Patients {
+		b.Packed = b.Packed[:base]
+		return fmt.Errorf("data: %d genotypes, want %d", i, b.Patients)
+	}
+	b.SNPs = append(b.SNPs, int32(snp))
+	b.Counts = append(b.Counts, count)
+	return nil
+}
+
+// nextField splits the next whitespace-separated token off s, mirroring
+// strings.Fields one token at a time without allocating the field slice.
+func nextField(s string) (field, rest string) {
+	start := 0
+	for start < len(s) && (s[start] == ' ' || s[start] == '\t') {
+		start++
+	}
+	end := start
+	for end < len(s) && s[end] != ' ' && s[end] != '\t' {
+		end++
+	}
+	return s[start:end], s[end:]
+}
+
+// DecodeRow decodes row r into dst (grown as needed), faithfully mapping the
+// 01 code to MissingGenotype. It returns the decoded slice of length
+// Patients.
+func (b *GenoBlock) DecodeRow(r int, dst []Genotype) []Genotype {
+	if cap(dst) < b.Patients {
+		dst = make([]Genotype, b.Patients)
+	}
+	dst = dst[:b.Patients]
+	UnpackGenotypes(b.Row(r), dst)
+	return dst
+}
+
+// UnpackGenotypes decodes packed 2-bit codes into dst; len(dst) genotypes
+// are read. Missing decodes to MissingGenotype.
+func UnpackGenotypes(packed []byte, dst []Genotype) {
+	n := len(dst)
+	for i := 0; i+4 <= n; i += 4 {
+		v := packed[i>>2]
+		dst[i] = CodeGenotypes[v&3]
+		dst[i+1] = CodeGenotypes[(v>>2)&3]
+		dst[i+2] = CodeGenotypes[(v>>4)&3]
+		dst[i+3] = CodeGenotypes[v>>6]
+	}
+	for i := n &^ 3; i < n; i++ {
+		dst[i] = CodeGenotypes[(packed[i>>2]>>uint((i&3)*2))&3]
+	}
+}
+
+// PackGenotypes packs g into dst, which must hold BlockRowBytes(len(g))
+// zeroed bytes. Genotypes must be in {MissingGenotype, 0, 1, 2}.
+func PackGenotypes(g []Genotype, dst []byte) error {
+	if want := BlockRowBytes(len(g)); len(dst) < want {
+		return fmt.Errorf("data: pack buffer holds %d bytes, want %d", len(dst), want)
+	}
+	for i, v := range g {
+		if v < MissingGenotype || v > 2 {
+			return fmt.Errorf("data: genotype %d at index %d outside {missing,0,1,2}", v, i)
+		}
+		dst[i>>2] |= genoCodes[v+1] << uint((i&3)*2)
+	}
+	return nil
+}
+
+// WriteTextRow appends row r in the genotype text format ("snp\tg1 g2 ...")
+// to sb. Missing genotypes are written as "NA" (the text reader does not
+// accept them back; blocks carrying missing data stay binary).
+func (b *GenoBlock) WriteTextRow(r int, sb *strings.Builder) {
+	sb.WriteString(strconv.Itoa(int(b.SNPs[r])))
+	sb.WriteByte('\t')
+	row := b.Row(r)
+	for i := 0; i < b.Patients; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch CodeGenotypes[(row[i>>2]>>uint((i&3)*2))&3] {
+		case MissingGenotype:
+			sb.WriteString("NA")
+		case 0:
+			sb.WriteByte('0')
+		case 1:
+			sb.WriteByte('1')
+		case 2:
+			sb.WriteByte('2')
+		}
+	}
+	sb.WriteByte('\n')
+}
+
+// ApproxBytes estimates the block's resident size: packed bytes, the two
+// int32 columns, and the fixed header. Partial tail blocks are charged their
+// actual size, which keeps cache accounting honest (a flat per-block hint
+// would overcharge them).
+func (b GenoBlock) ApproxBytes() int64 {
+	return int64(len(b.Packed)) + 4*int64(len(b.SNPs)) + 4*int64(len(b.Counts)) + 96
+}
+
+// BoxedRowBytes estimates the resident size of one boxed genotype row (the
+// pre-columnar representation): a separately allocated []Genotype rounded up
+// to its Go allocator size class, plus the SNP id and slice header in the
+// row struct. This is what the boxed path's cache accounting charges, so the
+// packed-vs-boxed footprint comparison reflects real heap layouts.
+func BoxedRowBytes(patients int) int64 {
+	return sizeClass(int64(patients)) + 32
+}
+
+// AllocBytes rounds a payload size up to the Go allocator size class that
+// backs it — what a slice of that many bytes actually occupies on the heap.
+// Honest cache accounting for boxed values charges this, not the logical
+// length.
+func AllocBytes(n int64) int64 { return sizeClass(n) }
+
+// goSizeClasses are the Go allocator's small-object size classes
+// (runtime/sizeclasses.go); allocations above the last class round to 8 KiB
+// pages.
+var goSizeClasses = []int64{
+	8, 16, 24, 32, 48, 64, 80, 96, 112, 128, 144, 160, 176, 192, 208, 224,
+	240, 256, 288, 320, 352, 384, 416, 448, 480, 512, 576, 640, 704, 768,
+	896, 1024, 1152, 1280, 1408, 1536, 1792, 2048, 2304, 2688, 3072, 3200,
+	3456, 4096, 4864, 5376, 6144, 6528, 6784, 6912, 8192, 9472, 9728, 10240,
+	10880, 12288, 13568, 14336, 16384, 18432, 19072, 20480, 21760, 24576,
+	27264, 28672, 32768,
+}
+
+func sizeClass(n int64) int64 {
+	for _, c := range goSizeClasses {
+		if n <= c {
+			return c
+		}
+	}
+	const page = 8192
+	return (n + page - 1) / page * page
+}
+
+// DecodePool recycles per-row decode buffers for consumers that unpack
+// blocks concurrently (the single-goroutine score kernel owns its buffer
+// instead and never touches the pool).
+type DecodePool struct {
+	patients int
+	pool     sync.Pool
+}
+
+// NewDecodePool returns a pool of decode buffers for the given cohort size.
+func NewDecodePool(patients int) *DecodePool {
+	p := &DecodePool{patients: patients}
+	p.pool.New = func() any { return make([]Genotype, patients) }
+	return p
+}
+
+// Get returns a decode buffer of length Patients.
+func (p *DecodePool) Get() []Genotype { return p.pool.Get().([]Genotype) }
+
+// Put returns a buffer to the pool.
+func (p *DecodePool) Put(buf []Genotype) {
+	if cap(buf) >= p.patients {
+		p.pool.Put(buf[:p.patients])
+	}
+}

@@ -105,7 +105,7 @@ func ParseGenotypeFields(fields []string) ([]Genotype, error) {
 	for i, f := range fields {
 		v, err := strconv.Atoi(f)
 		if err != nil || v < 0 || v > 2 {
-			return nil, fmt.Errorf("bad genotype %q", f)
+			return nil, fmt.Errorf("field %d: bad genotype %q", i+1, f)
 		}
 		gs[i] = Genotype(v)
 	}

@@ -136,6 +136,34 @@ func FillGenotypeRow(row []data.Genotype, cfg Config, r *rng.RNG, j int) {
 	}
 }
 
+// GenoBlocks draws the genotype matrix directly into packed 2-bit columnar
+// blocks of up to rowsPerBlock SNP rows each, without materialising a boxed
+// matrix. Each row uses the same per-SNP split stream as Genotypes, so the
+// packed blocks decode to exactly the matrix Genotypes(cfg, r) would return.
+func GenoBlocks(cfg Config, r *rng.RNG, rowsPerBlock int) []data.GenoBlock {
+	cfg = cfg.withDefaults()
+	if rowsPerBlock <= 0 {
+		rowsPerBlock = 256
+	}
+	var blocks []data.GenoBlock
+	row := make([]data.Genotype, cfg.Patients)
+	for j := 0; j < cfg.SNPs; j += rowsPerBlock {
+		hi := j + rowsPerBlock
+		if hi > cfg.SNPs {
+			hi = cfg.SNPs
+		}
+		blk := data.NewGenoBlock(cfg.Patients, hi-j)
+		for jj := j; jj < hi; jj++ {
+			FillGenotypeRow(row, cfg, r, jj)
+			if err := blk.AppendRow(jj, row); err != nil {
+				panic(err) // unreachable: generated genotypes are in {0,1,2}
+			}
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}
+
 // FlatWeights returns the unit SKAT weights used throughout the paper's
 // experiments (the weights file exists as an input, but the synthetic study
 // does not vary it).

@@ -223,3 +223,31 @@ func TestCovariatesShapeAndBalance(t *testing.T) {
 		t.Fatalf("sex balance %.3f, want ~0.5", frac)
 	}
 }
+
+func TestGenoBlocksDecodeToGenotypesMatrix(t *testing.T) {
+	cfg := Config{Patients: 57, SNPs: 130, SNPSets: 5}
+	matrix := Genotypes(cfg, rng.New(42))
+	blocks := GenoBlocks(cfg, rng.New(42), 48)
+	if len(blocks) != 3 {
+		t.Fatalf("%d blocks for 130 SNPs at 48 rows/block, want 3", len(blocks))
+	}
+	j := 0
+	var dec []int8
+	for _, blk := range blocks {
+		for r := 0; r < blk.Rows(); r++ {
+			if int(blk.SNPs[r]) != j {
+				t.Fatalf("block row carries SNP %d, want %d", blk.SNPs[r], j)
+			}
+			dec = blk.DecodeRow(r, dec)
+			for i, v := range matrix.Row(j) {
+				if dec[i] != v {
+					t.Fatalf("SNP %d patient %d: packed %d, matrix %d", j, i, dec[i], v)
+				}
+			}
+			j++
+		}
+	}
+	if j != cfg.SNPs {
+		t.Fatalf("blocks hold %d rows, want %d", j, cfg.SNPs)
+	}
+}

@@ -64,6 +64,7 @@ func Experiments() []Experiment {
 		{ID: "combine", Title: "Combine: shuffle bytes with and without map-side combine", Run: runCombine},
 		{ID: "serving", Title: "Serving: concurrent job throughput and latency, FIFO vs FAIR", Run: runServing},
 		{ID: "speculation", Title: "Speculation: stage wall-clock with 8x stragglers, speculative copies on/off", Run: runSpeculation},
+		{ID: "columnar", Title: "Columnar: 2-bit packed genotype engine vs boxed rows", Run: runColumnar},
 	}
 }
 

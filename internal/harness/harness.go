@@ -56,6 +56,11 @@ type Harness struct {
 	// grid as a JSON snapshot to this path (benchtab's -json flag).
 	SpeculationJSON string
 
+	// ColumnarJSON, when set, makes the columnar experiment write its
+	// packed-vs-boxed measurements as a JSON snapshot to this path
+	// (benchtab's -json flag).
+	ColumnarJSON string
+
 	datasets map[dsKey]*data.Dataset
 	runSeq   int
 }

@@ -1,0 +1,44 @@
+// MapBatches: the batching narrow operator behind the columnar engine. It
+// groups a streamed partition into fixed-size element batches and maps each
+// batch to one output element, staying fused with the chain — the batch
+// buffer is the only intermediate, it is bounded by the batch size, and it is
+// reused across batches within a partition drain.
+
+package rdd
+
+import "fmt"
+
+// MapBatches applies f to consecutive batches of up to size elements,
+// yielding one U per batch; the final batch of a partition may be short.
+// Fused: elements stream into a reused batch buffer, so f must not retain
+// the slice it is handed (copy out whatever survives the call). Batches
+// never span partitions, and the upstream element order is preserved within
+// and across batches, so deterministic pipelines stay deterministic.
+func MapBatches[T, U any](r *RDD[T], name string, size int, f func(p int, batch []T) U) *RDD[U] {
+	if size <= 0 {
+		panic(fmt.Sprintf("rdd: MapBatches size %d", size))
+	}
+	parent := r.n
+	n := newTypedNode[U](parent.ctx, fmt.Sprintf("mapBatches:%s(%s)", name, parent.name), parent.parts)
+	n.narrowParents = []*node{parent}
+	n.fusedDepth = parent.fusedDepth + 1
+	n.compute = func(tc *taskContext, p int) any {
+		in := seqOf[T](parent.iterate(tc, p))
+		return boxSeq[U](func(yield func(U) bool) {
+			batch := make([]T, 0, size)
+			for v := range in {
+				batch = append(batch, v)
+				if len(batch) == size {
+					if !yield(f(p, batch)) {
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if len(batch) > 0 {
+				yield(f(p, batch))
+			}
+		})
+	}
+	return &RDD[U]{n: n}
+}

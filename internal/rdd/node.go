@@ -55,6 +55,10 @@ type node struct {
 	// cacheLevel: 0 = no persistence, 1 = MEMORY_ONLY, 2 = MEMORY_AND_DISK.
 	cacheLevel   atomic.Int32
 	bytesPerElem int64
+	// sizeSlice, when set, sums per-element sizes over a materialised boxed
+	// []T (SetSizeFunc) — exact accounting for variable-size elements such as
+	// columnar blocks, whose partial tails a flat hint would overcharge.
+	sizeSlice func(v any) int64
 
 	// prefNodes returns the cluster nodes holding partition p's input (HDFS
 	// block locations); nil for computed RDDs.
@@ -77,6 +81,9 @@ func (c *Context) newNode(name string, parts int) *node {
 
 // estBytes estimates the in-memory size of a materialised partition.
 func (n *node) estBytes(v any) int64 {
+	if n.sizeSlice != nil {
+		return n.sizeSlice(v)
+	}
 	return int64(n.count(v)) * n.bytesPerElem
 }
 

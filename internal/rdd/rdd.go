@@ -112,6 +112,25 @@ func (r *RDD[T]) SetSizeHint(bytesPerElem int64) *RDD[T] {
 	return r
 }
 
+// SetSizeFunc declares a per-element size estimator, used instead of the
+// flat SetSizeHint wherever a materialised partition is measured (cache
+// accounting, eviction pressure). Keep a representative SetSizeHint as well:
+// streaming paths that never materialise the partition still use the flat
+// rate. Returns r for chaining.
+func (r *RDD[T]) SetSizeFunc(f func(T) int64) *RDD[T] {
+	if f == nil {
+		panic("rdd: nil size func")
+	}
+	r.n.sizeSlice = func(v any) int64 {
+		var total int64
+		for _, e := range v.([]T) {
+			total += f(e)
+		}
+		return total
+	}
+	return r
+}
+
 // Parallelize distributes a driver-side slice over parts partitions (
 // contiguous, near-equal ranges). The data is shipped to executors with the
 // tasks, which the cost model charges over the network.

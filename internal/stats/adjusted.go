@@ -52,6 +52,10 @@ type residualModel struct {
 func (m *residualModel) Name() string  { return m.name }
 func (m *residualModel) Patients() int { return len(m.resid) }
 
+// Residuals implements Residualer: the adjusted residual vector is exactly
+// the SNP-invariant factor the blocked kernel fuses with the dosage decode.
+func (m *residualModel) Residuals() []float64 { return m.resid }
+
 func (m *residualModel) Contributions(g []data.Genotype, u []float64) {
 	n := len(m.resid)
 	checkLens(n, g, u)

@@ -1,0 +1,187 @@
+// Blocked score kernels over packed genotype blocks. The boxed pipeline
+// computes one SNP at a time: decode a row, allocate a contribution slice,
+// loop. A BlockKernel instead consumes a whole data.GenoBlock in one pass —
+// for residual-form models (Gaussian, Binomial, and their covariate-adjusted
+// variants) the 2-bit dosage decode and the score accumulation fuse into a
+// single loop over the packed bytes, and the block's contributions land in
+// one flat allocation. Monte Carlo reweighting then becomes a matrix–vector
+// product over the cached UBlock instead of per-SNP MonteCarloScore calls.
+//
+// Arithmetic order matches the boxed path exactly (per row, in patient
+// order), so packed and boxed pipelines produce bitwise-identical scores.
+
+package stats
+
+import (
+	"fmt"
+
+	"sparkscore/internal/data"
+)
+
+// codeDosage maps each 2-bit PLINK-BED code to its scoring dosage; missing
+// (code 01) scores as dosage zero, the usual missing-as-reference rule.
+var codeDosage = [4]float64{2, 0, 1, 0}
+
+// codeScoring maps each 2-bit code to its scoring genotype (missing -> 0),
+// the domain the Model interface accepts.
+var codeScoring = [4]data.Genotype{2, 0, 1, 0}
+
+// DecodeDosageGenotypes unpacks 2-bit codes into scoring genotypes
+// (missing -> 0); len(dst) genotypes are read from packed.
+func DecodeDosageGenotypes(packed []byte, dst []data.Genotype) {
+	n := len(dst)
+	for i := 0; i+4 <= n; i += 4 {
+		v := packed[i>>2]
+		dst[i] = codeScoring[v&3]
+		dst[i+1] = codeScoring[(v>>2)&3]
+		dst[i+2] = codeScoring[(v>>4)&3]
+		dst[i+3] = codeScoring[v>>6]
+	}
+	for i := n &^ 3; i < n; i++ {
+		dst[i] = codeScoring[(packed[i>>2]>>uint((i&3)*2))&3]
+	}
+}
+
+// UBlock holds the per-patient score contributions of a block of SNPs,
+// row-major in one flat allocation: row r is U[r*Patients:(r+1)*Patients],
+// the contributions of SNP SNPs[r]. It is the cached unit of the columnar
+// Monte Carlo pipeline (Algorithm 3's RDD U, blocked).
+type UBlock struct {
+	Patients int
+	SNPs     []int32
+	U        []float64
+}
+
+// Rows returns the number of SNP rows in the block.
+func (b *UBlock) Rows() int { return len(b.SNPs) }
+
+// Row returns the contribution vector of row r.
+func (b *UBlock) Row(r int) []float64 {
+	return b.U[r*b.Patients : (r+1)*b.Patients]
+}
+
+// ApproxBytes estimates the block's resident size for cache accounting.
+func (b UBlock) ApproxBytes() int64 {
+	return 8*int64(len(b.U)) + 4*int64(len(b.SNPs)) + 96
+}
+
+// Scores computes the per-row marginal scores into out (grown as needed):
+// with z nil each row sums to the observed U_j; otherwise the Monte Carlo
+// replicate Ũ_j = Σ_i z_i U_ij — the whole block is one matrix–vector
+// product. Summation runs in patient order per row, matching the boxed
+// per-SNP loop bit for bit.
+func (b *UBlock) Scores(z, out []float64) []float64 {
+	rows := b.Rows()
+	if cap(out) < rows {
+		out = make([]float64, rows)
+	}
+	out = out[:rows]
+	if z != nil && len(z) != b.Patients {
+		panic(fmt.Sprintf("stats: %d Monte Carlo weights for %d patients", len(z), b.Patients))
+	}
+	n := b.Patients
+	for r := 0; r < rows; r++ {
+		row := b.U[r*n : (r+1)*n]
+		var s float64
+		if z == nil {
+			for _, v := range row {
+				s += v
+			}
+		} else {
+			for i, v := range row {
+				s += v * z[i]
+			}
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Residualer is implemented by models whose contribution factorises as
+// U_ij = G_ij · r_i for a SNP-invariant per-patient residual vector r — the
+// Gaussian and Binomial families and their covariate-adjusted forms. The
+// kernel exploits it to fuse dosage decode with accumulation; models without
+// the factorisation (Cox, whose risk sets couple patients) take the
+// decode-then-Contributions path instead.
+type Residualer interface {
+	// Residuals returns the per-patient residual vector; callers must not
+	// mutate it.
+	Residuals() []float64
+}
+
+// BlockKernel applies a score model to packed genotype blocks. A kernel is
+// built once per partition (it owns a decode buffer) and used from a single
+// goroutine; concurrent consumers build one kernel each, or share blocks via
+// data.DecodePool.
+type BlockKernel struct {
+	model Model
+	resid []float64 // non-nil selects the fused dosage×residual path
+	dec   []data.Genotype
+}
+
+// NewBlockKernel builds a kernel for the model.
+func NewBlockKernel(m Model) *BlockKernel {
+	k := &BlockKernel{model: m, dec: make([]data.Genotype, m.Patients())}
+	if r, ok := m.(Residualer); ok {
+		k.resid = r.Residuals()
+	}
+	return k
+}
+
+// Model returns the kernel's score model.
+func (k *BlockKernel) Model() Model { return k.model }
+
+// Contributions computes the block's per-patient contributions: the columnar
+// form of Algorithm 1 step 7. Allocations are flat per block (the SNP column
+// copy and the contribution matrix) regardless of the patient count.
+func (k *BlockKernel) Contributions(blk data.GenoBlock) UBlock {
+	n := blk.Patients
+	if n != k.model.Patients() {
+		panic(fmt.Sprintf("stats: block for %d patients, model for %d", n, k.model.Patients()))
+	}
+	rows := blk.Rows()
+	out := UBlock{
+		Patients: n,
+		SNPs:     append([]int32(nil), blk.SNPs...),
+		U:        make([]float64, rows*n),
+	}
+	for r := 0; r < rows; r++ {
+		u := out.U[r*n : (r+1)*n]
+		if k.resid != nil {
+			fusedDosageAccumulate(blk.Row(r), k.resid, u)
+		} else {
+			dec := k.dec[:n]
+			DecodeDosageGenotypes(blk.Row(r), dec)
+			k.model.Contributions(dec, u)
+		}
+	}
+	return out
+}
+
+// Decode unpacks row r of the block into the kernel's owned buffer as
+// scoring genotypes (missing -> 0). The buffer is valid until the next
+// kernel call.
+func (k *BlockKernel) Decode(blk data.GenoBlock, r int) []data.Genotype {
+	dec := k.dec[:blk.Patients]
+	DecodeDosageGenotypes(blk.Row(r), dec)
+	return dec
+}
+
+// fusedDosageAccumulate is the fused inner loop: u[i] = dosage(code_i) · r_i
+// straight off the packed bytes, four patients per byte, no intermediate
+// genotype slice. The multiply matches float64(g_i)·r_i of the boxed path
+// bit for bit, since the dosage table holds the same float64 values.
+func fusedDosageAccumulate(packed []byte, resid, u []float64) {
+	n := len(resid)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		v := packed[i>>2]
+		u[i] = codeDosage[v&3] * resid[i]
+		u[i+1] = codeDosage[(v>>2)&3] * resid[i+1]
+		u[i+2] = codeDosage[(v>>4)&3] * resid[i+2]
+		u[i+3] = codeDosage[v>>6] * resid[i+3]
+	}
+	for ; i < n; i++ {
+		u[i] = codeDosage[(packed[i>>2]>>uint((i&3)*2))&3] * resid[i]
+	}
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"testing"
+
+	"sparkscore/internal/data"
+	"sparkscore/internal/rng"
+)
+
+// kernelFixture builds a phenotype and a packed block of random rows.
+func kernelFixture(t testing.TB, patients, rows int, binary bool) (*data.Phenotype, data.GenoBlock) {
+	if t != nil {
+		t.Helper()
+	}
+	r := rng.New(99)
+	ph := data.NewPhenotype(patients)
+	for i := range ph.Y {
+		if binary {
+			if r.Bernoulli(0.4) {
+				ph.Y[i] = 1
+			}
+		} else {
+			ph.Y[i] = r.Exponential(1.0 / 12)
+		}
+		if r.Bernoulli(0.85) {
+			ph.Event[i] = 1
+		}
+	}
+	blk := data.NewGenoBlock(patients, rows)
+	g := make([]data.Genotype, patients)
+	for j := 0; j < rows; j++ {
+		for i := range g {
+			g[i] = data.Genotype(r.Binomial(2, 0.3))
+		}
+		if err := blk.AppendRow(j, g); err != nil {
+			panic(err)
+		}
+	}
+	return ph, blk
+}
+
+func TestBlockKernelMatchesModelBitwise(t *testing.T) {
+	const patients, rows = 37, 9
+	for _, family := range []string{"cox", "gaussian", "binomial"} {
+		ph, blk := kernelFixture(t, patients, rows, family == "binomial")
+		model, err := NewModel(family, ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := NewBlockKernel(model)
+		ub := k.Contributions(blk)
+		if ub.Rows() != rows || ub.Patients != patients {
+			t.Fatalf("%s: UBlock %dx%d", family, ub.Rows(), ub.Patients)
+		}
+		dec := make([]data.Genotype, patients)
+		u := make([]float64, patients)
+		for r := 0; r < rows; r++ {
+			blk.DecodeRow(r, dec)
+			model.Contributions(dec, u)
+			got := ub.Row(r)
+			for i := range u {
+				if got[i] != u[i] {
+					t.Fatalf("%s row %d patient %d: kernel %v, boxed %v", family, r, i, got[i], u[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockKernelMissingScoresAsZeroDosage(t *testing.T) {
+	ph := data.NewPhenotype(4)
+	ph.Y = []float64{1, 2, 3, 4}
+	model, err := NewGaussian(ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := data.NewGenoBlock(4, 1)
+	if err := blk.AppendRow(0, []data.Genotype{2, data.MissingGenotype, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	ub := NewBlockKernel(model).Contributions(blk)
+	row := ub.Row(0)
+	if row[1] != 0 {
+		t.Fatalf("missing genotype contributed %v, want 0", row[1])
+	}
+	wantFirst := 2 * (ph.Y[0] - 2.5)
+	if row[0] != wantFirst {
+		t.Fatalf("row[0] = %v, want %v", row[0], wantFirst)
+	}
+}
+
+func TestUBlockScoresMatchMonteCarloScore(t *testing.T) {
+	ph, blk := kernelFixture(t, 23, 6, false)
+	model, err := NewGaussian(ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := NewBlockKernel(model).Contributions(blk)
+	r := rng.New(5)
+	z := make([]float64, 23)
+	for i := range z {
+		z[i] = r.Normal()
+	}
+	obs := ub.Scores(nil, nil)
+	mc := ub.Scores(z, nil)
+	ones := make([]float64, 23)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for row := 0; row < ub.Rows(); row++ {
+		if want := MonteCarloScore(ub.Row(row), ones); obs[row] != want {
+			t.Fatalf("row %d observed score %v, want %v", row, obs[row], want)
+		}
+		if want := MonteCarloScore(ub.Row(row), z); mc[row] != want {
+			t.Fatalf("row %d MC score %v, want %v", row, mc[row], want)
+		}
+	}
+}
+
+// TestKernelAllocsFlatAcrossPatients is the allocation regression pin for the
+// fused decode+accumulate kernel: allocations per block must not grow with
+// the patient count (one SNP-column copy plus one flat contribution matrix).
+func TestKernelAllocsFlatAcrossPatients(t *testing.T) {
+	allocs := func(patients int) float64 {
+		ph, blk := kernelFixture(nil, patients, 8, false)
+		model, err := NewGaussian(ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := NewBlockKernel(model)
+		var sink UBlock
+		n := testing.AllocsPerRun(50, func() {
+			sink = k.Contributions(blk)
+		})
+		_ = sink
+		return n
+	}
+	small, large := allocs(64), allocs(4096)
+	if small != large {
+		t.Fatalf("allocs per block changed with patients: %v @64 vs %v @4096", small, large)
+	}
+	if small > 3 {
+		t.Fatalf("fused kernel allocates %v times per block, want <= 3", small)
+	}
+}
+
+// BenchmarkBlockKernel and BenchmarkBoxedRows are the marginal-score inner
+// loops of the two pipelines: fused packed-block kernel vs per-row boxed
+// decode with a fresh contribution slice per SNP (what the boxed RDD path
+// allocates). Run with -benchmem; the packed path's allocs/op stay flat.
+func BenchmarkBlockKernel(b *testing.B) {
+	ph, blk := kernelFixture(nil, 1000, 256, false)
+	model, _ := NewGaussian(ph)
+	k := NewBlockKernel(model)
+	var scores []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ub := k.Contributions(blk)
+		scores = ub.Scores(nil, scores)
+	}
+}
+
+func BenchmarkBoxedRows(b *testing.B) {
+	ph, blk := kernelFixture(nil, 1000, 256, false)
+	model, _ := NewGaussian(ph)
+	rows := make([][]data.Genotype, blk.Rows())
+	for r := range rows {
+		rows[r] = blk.DecodeRow(r, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range rows {
+			u := make([]float64, len(g))
+			model.Contributions(g, u)
+			s := 0.0
+			for _, v := range u {
+				s += v
+			}
+			_ = s
+		}
+	}
+}

@@ -212,7 +212,8 @@ func NaiveCoxContributions(ph *data.Phenotype, g []data.Genotype, u []float64) {
 type Gaussian struct {
 	ph     *data.Phenotype
 	meanY  float64
-	sigma2 float64 // residual variance estimate Σ(Y−Ȳ)²/n
+	sigma2 float64   // residual variance estimate Σ(Y−Ȳ)²/n
+	resid  []float64 // Y_i − Ȳ, the SNP-invariant factor of U_ij
 }
 
 // NewGaussian builds a Gaussian score model for the phenotype.
@@ -227,11 +228,13 @@ func NewGaussian(ph *data.Phenotype) (*Gaussian, error) {
 	}
 	mean := sum / float64(n)
 	var ss float64
-	for _, y := range ph.Y {
+	resid := make([]float64, n)
+	for i, y := range ph.Y {
 		d := y - mean
+		resid[i] = d
 		ss += d * d
 	}
-	return &Gaussian{ph: ph, meanY: mean, sigma2: ss / float64(n)}, nil
+	return &Gaussian{ph: ph, meanY: mean, sigma2: ss / float64(n), resid: resid}, nil
 }
 
 // Name implements Model.
@@ -248,6 +251,9 @@ func (g *Gaussian) Contributions(geno []data.Genotype, u []float64) {
 		u[i] = float64(geno[i]) * (g.ph.Y[i] - g.meanY)
 	}
 }
+
+// Residuals implements Residualer: U_ij = G_ij · (Y_i − Ȳ).
+func (g *Gaussian) Residuals() []float64 { return g.resid }
 
 // Variance implements Model: Var(U_j) = σ̂² Σ_i (G_ij − Ḡ_j)².
 func (g *Gaussian) Variance(geno []data.Genotype) float64 {
@@ -277,6 +283,7 @@ func (g *Gaussian) Variance(geno []data.Genotype) float64 {
 type Binomial struct {
 	ph    *data.Phenotype
 	meanY float64
+	resid []float64 // Y_i − Ȳ
 }
 
 // NewBinomial builds a Binomial score model. Every outcome must be 0 or 1 and
@@ -297,7 +304,11 @@ func NewBinomial(ph *data.Phenotype) (*Binomial, error) {
 	if mean == 0 || mean == 1 {
 		return nil, fmt.Errorf("stats: binomial phenotype has a single class")
 	}
-	return &Binomial{ph: ph, meanY: mean}, nil
+	resid := make([]float64, n)
+	for i, y := range ph.Y {
+		resid[i] = y - mean
+	}
+	return &Binomial{ph: ph, meanY: mean, resid: resid}, nil
 }
 
 // Name implements Model.
@@ -314,6 +325,9 @@ func (b *Binomial) Contributions(geno []data.Genotype, u []float64) {
 		u[i] = float64(geno[i]) * (b.ph.Y[i] - b.meanY)
 	}
 }
+
+// Residuals implements Residualer: U_ij = G_ij · (Y_i − Ȳ).
+func (b *Binomial) Residuals() []float64 { return b.resid }
 
 // Variance implements Model: Var(U_j) = Ȳ(1−Ȳ) Σ_i (G_ij − Ḡ_j)².
 func (b *Binomial) Variance(geno []data.Genotype) float64 {
