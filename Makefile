@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke trace experiments
+.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke trace experiments
 
 # tier1 is the CI gate: formatting, vet, build, the full test suite under the
 # race detector (the recovery layer is concurrent by construction), a smoke
 # run of the streaming-execution benchmarks, an event-log round trip through
 # the real CLIs, the job-server self-test over real HTTP (including deadline
 # cancellation freeing its pool slot), the speculation ablation's >= 3x
-# straggler-mitigation claim, and the columnar engine's byte-parity and
-# >= 4x packed-storage claims.
-tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke
+# straggler-mitigation claim, the columnar engine's byte-parity and
+# >= 4x packed-storage claims, and the sort shuffle's spill-and-match claim
+# under a memory cap the hash shuffle cannot survive.
+tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -74,6 +75,26 @@ columnar-smoke:
 	cmp $${TMPDIR:-/tmp}/sparkscore-columnar.tsv $${TMPDIR:-/tmp}/sparkscore-boxed.tsv
 	$(GO) run ./cmd/benchtab -exp columnar -json
 	@echo "columnar-smoke: packed and boxed reports identical"
+
+# spill-smoke squeezes the unified memory pool far below the score pipeline's
+# shuffle working set: the sort shuffle must spill (the run prints its spill
+# accounting) yet produce a per-set report byte-identical to the uncapped run,
+# while the hash shuffle must abort out of memory at the same cap. Then the
+# memory experiment (capped chaos replay + working-set measurement) refreshes
+# the BENCH_memory.json snapshot.
+spill-smoke:
+	$(GO) run ./cmd/sparkscore -generate -patients 60 -snps 300 -sets 6 -iterations 10 \
+		-out $${TMPDIR:-/tmp}/sparkscore-uncapped.tsv > /dev/null
+	$(GO) run ./cmd/sparkscore -generate -patients 60 -snps 300 -sets 6 -iterations 10 \
+		-mem-cap-bytes 4096 -workers 1 \
+		-out $${TMPDIR:-/tmp}/sparkscore-spill.tsv | grep -q "shuffle spills:"
+	cmp $${TMPDIR:-/tmp}/sparkscore-uncapped.tsv $${TMPDIR:-/tmp}/sparkscore-spill.tsv
+	@if $(GO) run ./cmd/sparkscore -generate -patients 60 -snps 300 -sets 6 -iterations 10 \
+		-mem-cap-bytes 4096 -workers 1 -hash-shuffle > /dev/null 2>&1; then \
+		echo "spill-smoke: hash shuffle survived a cap it must OOM under"; exit 1; \
+	fi
+	$(GO) run ./cmd/benchtab -exp memory -json
+	@echo "spill-smoke: capped sort report identical to uncapped; hash aborted"
 
 # trace runs the quickstart with a timeline listener and leaves a Chrome-trace
 # JSON next to the repo root (open in chrome://tracing or ui.perfetto.dev).

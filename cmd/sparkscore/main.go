@@ -48,6 +48,9 @@ func main() {
 		execs    = flag.Int("executors-per-node", 2, "YARN containers per node")
 		cores    = flag.Int("cores", 4, "cores per container")
 		mem      = flag.Float64("mem", 10, "memory per container (GiB)")
+		memCap   = flag.Int64("mem-cap-bytes", 0, "absolute per-container memory cap in bytes, overriding -mem (0 = off; squeezes the unified pool so the sort shuffle spills)")
+		hashShuf = flag.Bool("hash-shuffle", false, "use the legacy hash shuffle (resident buckets, no spill path) instead of the sort shuffle")
+		workers  = flag.Int("workers", 0, "host-side worker goroutines (0 = all CPUs; 1 makes spill points a pure function of the configuration)")
 		top      = flag.Int("top", 10, "print the top N SNP-sets by p-value")
 		marginal = flag.Bool("marginal", false, "also run the per-SNP asymptotic analysis")
 		setAsym  = flag.Bool("asymptotic", false, "also run the per-set asymptotic (Liu) analysis")
@@ -87,13 +90,23 @@ func main() {
 	if *progress {
 		listeners = append(listeners, &rdd.ConsoleProgressListener{})
 	}
+	memGiB := *mem
+	if *memCap > 0 {
+		memGiB = float64(*memCap) / float64(1<<30)
+	}
+	shuffle := rdd.ShuffleSort
+	if *hashShuf {
+		shuffle = rdd.ShuffleHash
+	}
 	ctx, err := rdd.New(rdd.Config{
 		Cluster: cluster.Config{
 			Nodes: *nodes, Spec: cluster.M3TwoXLarge,
-			ExecutorsPerNode: *execs, CoresPerExecutor: *cores, MemPerExecutorGiB: *mem,
+			ExecutorsPerNode: *execs, CoresPerExecutor: *cores, MemPerExecutorGiB: memGiB,
 		},
-		Seed:      *seed,
-		Listeners: listeners,
+		Seed:        *seed,
+		SortShuffle: shuffle,
+		Workers:     *workers,
+		Listeners:   listeners,
 	})
 	if err != nil {
 		fatal(err)
@@ -113,7 +126,7 @@ func main() {
 
 	fmt.Printf("sparkscore: %d patients, %d SNPs, %d SNP-sets on %d nodes (%dx%d cores, %g GiB)\n",
 		ds.Phenotype.Patients(), ds.Genotypes.SNPs(), len(ds.SNPSets),
-		*nodes, *execs, *cores, *mem)
+		*nodes, *execs, *cores, memGiB)
 
 	var res *core.Result
 	switch *method {
@@ -154,6 +167,15 @@ func main() {
 		}
 	}
 	fmt.Printf("\nsimulated cluster time: %.1f s over %d jobs\n", ctx.VirtualTime(), len(ctx.Jobs()))
+	var spilledBytes int64
+	var spillCount int
+	for _, m := range ctx.Jobs() {
+		spilledBytes += m.SpilledBytes
+		spillCount += m.SpillCount
+	}
+	if spillCount > 0 {
+		fmt.Printf("shuffle spills: %d sorted runs, %d bytes\n", spillCount, spilledBytes)
+	}
 
 	if eventLog != nil {
 		if err := eventLog.Close(); err != nil {

@@ -53,6 +53,8 @@ type stage struct {
 	tasks          int
 	failedAttempts int
 	seconds        float64
+	spills         int   // sorted runs the stage's tasks spilled
+	spilledBytes   int64 // encoded bytes of those runs
 	recovery       bool
 	failed         bool
 	done           bool
@@ -158,6 +160,8 @@ func build(events []rdd.Event) *model {
 		case *rdd.TaskEnd:
 			if s := openStage(jobOf(e.Job), e.Stage, e.Round); s != nil {
 				s.attempts = append(s.attempts, e)
+				s.spills += e.Metrics.SpillCount
+				s.spilledBytes += e.Metrics.SpilledBytes
 			}
 			// A killed original is not a failure; its TaskKilled event
 			// already carries the recovery row.
@@ -211,10 +215,11 @@ func (m *model) render(w *os.File, withTasks bool) {
 	jt.Fprint(w)
 	fmt.Fprintln(w)
 
-	st := metrics.NewTable("stages", "job", "stage", "round", "tasks", "failed-attempts", "sim-s", "recovery", "rdd")
+	st := metrics.NewTable("stages", "job", "stage", "round", "tasks", "failed-attempts", "spills", "spilled-B", "sim-s", "recovery", "rdd")
 	for _, j := range m.jobs {
 		for _, s := range j.stages {
 			st.AddRowf(int(j.id), stageLabel(s.id), s.round, s.tasks, s.failedAttempts,
+				s.spills, s.spilledBytes,
 				metrics.FormatSeconds(s.seconds), flag3(s.recovery, s.failed, s.done), truncate(s.rdd, 48))
 		}
 	}
@@ -232,7 +237,7 @@ func (m *model) render(w *os.File, withTasks bool) {
 
 	if withTasks {
 		fmt.Fprintln(w)
-		tt := metrics.NewTable("task attempts", "job", "stage", "round", "part", "attempt", "kind", "executor", "start-s", "dur-s", "status")
+		tt := metrics.NewTable("task attempts", "job", "stage", "round", "part", "attempt", "kind", "executor", "start-s", "dur-s", "spills", "spilled-B", "status")
 		for _, j := range m.jobs {
 			for _, s := range j.stages {
 				for _, t := range s.attempts {
@@ -252,7 +257,8 @@ func (m *model) render(w *os.File, withTasks bool) {
 						status = "ok (recovery)"
 					}
 					tt.AddRowf(int(j.id), stageLabel(s.id), s.round, t.Part, t.Attempt, kind, t.Executor,
-						metrics.FormatSeconds(t.StartSec), metrics.FormatSeconds(t.DurationSec), status)
+						metrics.FormatSeconds(t.StartSec), metrics.FormatSeconds(t.DurationSec),
+						t.Metrics.SpillCount, t.Metrics.SpilledBytes, status)
 				}
 			}
 		}

@@ -118,6 +118,27 @@ func (fs *FS) Write(name string, data []byte) (*File, error) {
 	return f, nil
 }
 
+// WriteLocal stores data under name as a single unreplicated block pinned to
+// the given node — the placement shuffle spill files want: written by the
+// map task to its own machine's disk, served from there, and lost with the
+// machine (DropNode leaves the block with no replica, so a later read is
+// remote-or-gone, exactly a lost shuffle file). Unlike Write it never splits
+// at line boundaries; spill runs are binary.
+func (fs *FS) WriteLocal(name string, data []byte, node int) (*File, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dfs: empty file name")
+	}
+	if node < 0 || node >= fs.nodes {
+		return nil, fmt.Errorf("dfs: WriteLocal to node %d of %d", node, fs.nodes)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &File{Name: name, Size: int64(len(data))}
+	f.Blocks = append(f.Blocks, Block{Data: data, Locations: []int{node}})
+	fs.files[name] = f
+	return f, nil
+}
+
 // placeReplicas picks replication distinct nodes, first one random (the
 // "writer" node), the rest spread, mirroring HDFS's random placement for
 // off-cluster writers.

@@ -61,6 +61,16 @@ type Harness struct {
 	// (benchtab's -json flag).
 	ColumnarJSON string
 
+	// MemoryJSON, when set, makes the memory experiment write its
+	// capped-pool measurements (sort-spill vs hash-OOM) as a JSON snapshot
+	// to this path (benchtab's -json flag).
+	MemoryJSON string
+
+	// extraListeners are attached to every run in addition to the
+	// EventLogDir/TraceDir observers; experiments use it to probe per-task
+	// metrics (the memory experiment's buffer high-water mark).
+	extraListeners []rdd.Listener
+
 	datasets map[dsKey]*data.Dataset
 	runSeq   int
 }
@@ -104,6 +114,21 @@ type Params struct {
 	// NoMapSideCombine disables map-side combining in ReduceByKey (the
 	// `combine` ablation experiment).
 	NoMapSideCombine bool
+
+	// HashShuffle selects the legacy hash shuffle (resident buckets, no
+	// spill path) instead of the default sort shuffle.
+	HashShuffle bool
+
+	// MemCapBytes, when positive, overrides the scaled executor memory with
+	// an absolute per-executor cap in bytes — the memory experiment's pool
+	// squeeze. Unlike MemPerExecutorGiB it is NOT divided by Scale.
+	MemCapBytes int64
+
+	// SingleWorker serialises host-side execution (rdd.Config.Workers = 1)
+	// so memory-manager grant denials — and with them spill points — are a
+	// pure function of the configuration, not goroutine interleaving.
+	// Capped runs need it for byte-identical replays.
+	SingleWorker bool
 }
 
 // scaledSets returns the SNP-set count after scaling (the set count scales
@@ -177,13 +202,25 @@ func (h *Harness) run(p Params, faults rdd.FaultProfile) (_ *rdd.Context, _ *cor
 		}
 	}()
 	scale := float64(h.scale())
+	memGiB := p.MemPerExecutorGiB / scale
+	if p.MemCapBytes > 0 {
+		memGiB = float64(p.MemCapBytes) / float64(1<<30)
+	}
+	shuffle := rdd.ShuffleSort
+	if p.HashShuffle {
+		shuffle = rdd.ShuffleHash
+	}
+	workers := 0
+	if p.SingleWorker {
+		workers = 1
+	}
 	ctx, err := rdd.New(rdd.Config{
 		Cluster: cluster.Config{
 			Nodes:             p.Nodes,
 			Spec:              cluster.M3TwoXLarge,
 			ExecutorsPerNode:  p.ExecutorsPerNode,
 			CoresPerExecutor:  p.CoresPerExecutor,
-			MemPerExecutorGiB: p.MemPerExecutorGiB / scale,
+			MemPerExecutorGiB: memGiB,
 			TotalExecutors:    p.TotalExecutors,
 		},
 		DFSBlockSize: int(float64(128<<20) / scale),
@@ -195,6 +232,8 @@ func (h *Harness) run(p Params, faults rdd.FaultProfile) (_ *rdd.Context, _ *cor
 		Seed:                  h.Seed,
 		Faults:                faults,
 		DisableMapSideCombine: p.NoMapSideCombine,
+		SortShuffle:           shuffle,
+		Workers:               workers,
 		Listeners:             observers,
 	})
 	if err != nil {
@@ -233,12 +272,12 @@ func (h *Harness) run(p Params, faults rdd.FaultProfile) (_ *rdd.Context, _ *cor
 // writes the timeline once the run is over. With neither directory set it
 // returns no listeners and a no-op finish.
 func (h *Harness) observers(p Params) ([]rdd.Listener, func() error, error) {
+	listeners := append([]rdd.Listener(nil), h.extraListeners...)
 	if h.EventLogDir == "" && h.TraceDir == "" {
-		return nil, func() error { return nil }, nil
+		return listeners, func() error { return nil }, nil
 	}
 	h.runSeq++
 	tag := fmt.Sprintf("run-%03d-%s%d", h.runSeq, p.Method, p.Iterations)
-	var listeners []rdd.Listener
 	var finishers []func() error
 	if h.EventLogDir != "" {
 		f, err := os.Create(filepath.Join(h.EventLogDir, tag+".jsonl"))

@@ -225,6 +225,8 @@ func setEventJob(ev Event, job uint64) {
 		e.Job = job
 	case *BlockEvicted:
 		e.Job = job
+	case *ShuffleSpill:
+		e.Job = job
 	case *FetchFailure:
 		e.Job = job
 	}
@@ -468,5 +470,79 @@ func TestRunInPoolAttribution(t *testing.T) {
 	want := []string{DefaultPool, "outer", "inner", "outer"}
 	if fmt.Sprint(pools) != fmt.Sprint(want) {
 		t.Errorf("JobStart pools = %v, want %v", pools, want)
+	}
+}
+
+// TestCacheDropRacesConcurrentJobs stress-tests the memory manager's
+// dropRDD/dropExecutor paths racing live jobs that share a cached lineage
+// (race detector on: `go test -race` runs this). Worker goroutines repeatedly
+// run a shuffle job over one cached RDD while a dropper goroutine unpersists
+// it mid-flight (dropRDD) and two executors die partway through
+// (dropExecutor). Every job must still produce the correct sums — dropped
+// cache recomputes from lineage — and the manager must account a consistent
+// non-negative byte total afterwards.
+func TestCacheDropRacesConcurrentJobs(t *testing.T) {
+	c, err := New(Config{Cluster: concTestCluster(), Seed: 5, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := Map(Parallelize(c, seq(4000), 8), "shared", func(x int) int { return x * 3 }).Cache()
+	pipeline := ReduceByKey(
+		Map(cached, "key", func(x int) KV[int, int] { return KV[int, int]{K: x % 16, V: x} }),
+		func(a, b int) int { return a + b }, 8)
+	var want int
+	for x := 0; x < 4000; x++ {
+		want += x * 3
+	}
+
+	const workers, iters = 4, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				out, err := Collect(pipeline)
+				if err != nil {
+					errs <- err
+					return
+				}
+				total := 0
+				for _, kv := range out {
+					total += kv.V
+				}
+				if total != want {
+					errs <- fmt.Errorf("sum = %d, want %d", total, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2*iters; i++ {
+			cached.Unpersist()
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, id := range []int{1, 3} {
+			time.Sleep(2 * time.Millisecond)
+			if err := c.FailExecutor(id); err != nil {
+				errs <- err
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.MemoryAccountedBytes() < 0 {
+		t.Fatalf("memory manager accounts %d bytes", c.MemoryAccountedBytes())
 	}
 }

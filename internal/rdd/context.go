@@ -59,11 +59,32 @@ type Config struct {
 	// reproduce. Set a large value to neutralise.
 	ParseMBps float64
 
-	// StorageFraction is the share of executor memory available for cached
-	// blocks, as in Spark's unified memory model (0.6). The remainder is
-	// execution memory; tasks whose working set exceeds their per-slot share
-	// of it are charged spill I/O.
+	// MemoryFraction is the share of executor memory forming the unified
+	// storage+execution pool, the analogue of spark.memory.fraction. Zero
+	// selects 1.0 rather than Spark's 0.6: Spark reserves the rest for user
+	// data structures on the JVM heap, which the simulation does not model.
+	MemoryFraction float64
+
+	// StorageFraction is the share of the unified pool reserved for cached
+	// blocks, as in Spark's unified memory model (spark.memory.storageFraction,
+	// 0.6 here). The remainder is execution memory: sort-shuffle buffers and
+	// reduce-side merges draw on it through the memory manager, and tasks
+	// whose working set exceeds their per-slot share of it are charged spill
+	// I/O. Unlike Spark the storage region is a hard cap, not a floor — see
+	// memorymanager.go for why.
 	StorageFraction float64
+
+	// SortShuffle selects the shuffle implementation. The zero value is
+	// ShuffleSort — map tasks buffer pairs in execution memory and spill
+	// key-sorted runs to the DFS when the memory manager denies growth.
+	// ShuffleHash restores the legacy resident hash shuffle, which cannot
+	// spill: under a memory cap it aborts where the sort path completes.
+	SortShuffle ShuffleMode
+
+	// CompressSpills deflate-compresses spilled run files. Off by default:
+	// the simulation holds spill payloads in host memory, so compression
+	// trades host CPU for nothing unless host memory is the constraint.
+	CompressSpills bool
 
 	// DisableMapSideCombine makes ReduceByKey (and CountByKey on top of it)
 	// shuffle raw pairs instead of combining per bucket on the map side. It
@@ -142,6 +163,9 @@ func (c Config) withDefaults() Config {
 	if c.ParseMBps == 0 {
 		c.ParseMBps = 0.25
 	}
+	if c.MemoryFraction == 0 {
+		c.MemoryFraction = 1.0
+	}
 	if c.StorageFraction == 0 {
 		c.StorageFraction = 0.6
 	}
@@ -165,7 +189,7 @@ type Context struct {
 	cfg     Config
 	cluster *cluster.Cluster
 	fs      *dfs.FS
-	blocks  *blockManager
+	blocks  *memoryManager
 	shuffle *shuffleManager
 	r       *rng.RNG
 
@@ -236,6 +260,15 @@ type failurePlan struct {
 // validate rejects configurations that can only be mistakes, before any of
 // their values feed a probability draw or a slot computation.
 func (c Config) validate() error {
+	if c.MemoryFraction < 0 || c.MemoryFraction > 1 {
+		return fmt.Errorf("rdd: Config.MemoryFraction = %g is not a fraction (want (0,1], or 0 for the default)", c.MemoryFraction)
+	}
+	if c.StorageFraction < 0 || c.StorageFraction > 1 {
+		return fmt.Errorf("rdd: Config.StorageFraction = %g is not a fraction (want (0,1], or 0 for the default)", c.StorageFraction)
+	}
+	if c.SortShuffle != ShuffleSort && c.SortShuffle != ShuffleHash {
+		return fmt.Errorf("rdd: Config.SortShuffle = %d is not a ShuffleMode (want ShuffleSort or ShuffleHash)", c.SortShuffle)
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
@@ -277,7 +310,9 @@ func New(cfg Config) (*Context, error) {
 			ctx.bus.add(l)
 		}
 	}
-	ctx.blocks = newBlockManager(cl, cfg.StorageFraction)
+	ctx.blocks = newMemoryManager(cl, cfg.MemoryFraction, cfg.StorageFraction)
+	ctx.shuffle.mem = ctx.blocks
+	ctx.shuffle.fs = fs
 	for _, nl := range cfg.Faults.NodeLoss {
 		ctx.FailNodeAfter(nl.Node, nl.AfterTasks)
 	}
@@ -405,7 +440,16 @@ func (c *Context) ExcludedExecutors() []int {
 }
 
 // CachedBytes reports the total bytes currently cached across live executors.
-func (c *Context) CachedBytes() int64 { return c.blocks.totalBytes() }
+func (c *Context) CachedBytes() int64 { return c.blocks.storageBytes() }
+
+// ShuffleResidentBytes reports the retained shuffle output bytes across
+// executors — the in-memory buckets (hash mode) and unspilled sort outputs
+// that the seed's accounting never counted.
+func (c *Context) ShuffleResidentBytes() int64 { return c.blocks.shuffleResidentBytes() }
+
+// MemoryAccountedBytes reports everything the memory manager tracks: cached
+// blocks, outstanding execution grants, and retained shuffle outputs.
+func (c *Context) MemoryAccountedBytes() int64 { return c.blocks.totalBytes() }
 
 func (c *Context) newNodeID() int {
 	c.mu.Lock()

@@ -170,6 +170,10 @@ func StripMeasuredTime(ev Event) Event {
 		c := *e
 		c.Time = 0
 		return &c
+	case *ShuffleSpill:
+		c := *e
+		c.Time = 0
+		return &c
 	case *FetchFailure:
 		c := *e
 		c.Time = 0

@@ -188,6 +188,15 @@ type TaskMetrics struct {
 	ShipBytes           int64 `json:"shipBytes,omitempty"`
 	MaterializedBytes   int64 `json:"materializedBytes,omitempty"`
 	FusedChain          int   `json:"fusedChain,omitempty"`
+	// Spill and execution-memory accounting (sort shuffle / memory manager).
+	// SpilledBytes is the encoded bytes of sorted runs the task wrote under
+	// memory pressure, SpillCount how many; ShuffleBufferBytes is the largest
+	// shuffle buffer the task held; ExecutionPeakBytes its execution-memory
+	// high-water mark. All zero (and absent from logs) when memory is ample.
+	SpilledBytes       int64 `json:"spilledBytes,omitempty"`
+	SpillCount         int   `json:"spillCount,omitempty"`
+	ShuffleBufferBytes int64 `json:"shuffleBufferBytes,omitempty"`
+	ExecutionPeakBytes int64 `json:"executionPeakBytes,omitempty"`
 }
 
 // BlockCached marks a partition entering the block manager (the storing half
@@ -219,6 +228,26 @@ type BlockEvicted struct {
 }
 
 func (*BlockEvicted) Name() string { return "BlockEvicted" }
+
+// ShuffleSpill marks a map task's shuffle buffer spilling a key-sorted run
+// to the DFS after the memory manager denied further buffering — the engine's
+// counterpart of Spark's "spilling sort data ... to disk" executor log line.
+// Bytes is the encoded size of the run file; Elems the pairs it holds.
+type ShuffleSpill struct {
+	EventTime
+	Job      uint64 `json:"job"`
+	Stage    uint64 `json:"stage"`
+	Round    int    `json:"round"`
+	Part     int    `json:"part"`
+	Attempt  int    `json:"attempt"`
+	Executor int    `json:"executor"`
+	Shuffle  int    `json:"shuffle"`
+	Run      int    `json:"run"` // run index within the map output, 0-based
+	Bytes    int64  `json:"bytes"`
+	Elems    int    `json:"elems"`
+}
+
+func (*ShuffleSpill) Name() string { return "ShuffleSpill" }
 
 // FetchFailure marks a reduce task finding a map output missing (Spark's
 // FetchFailed TaskEndReason). The scheduler reacts by resubmitting the
@@ -319,6 +348,7 @@ var eventFactories = map[string]func() Event{
 	"TaskEnd":                 func() Event { return &TaskEnd{} },
 	"BlockCached":             func() Event { return &BlockCached{} },
 	"BlockEvicted":            func() Event { return &BlockEvicted{} },
+	"ShuffleSpill":            func() Event { return &ShuffleSpill{} },
 	"FetchFailure":            func() Event { return &FetchFailure{} },
 	"ExecutorExcluded":        func() Event { return &ExecutorExcluded{} },
 	"NodeLost":                func() Event { return &NodeLost{} },

@@ -51,6 +51,8 @@ func eventJob(ev Event) uint64 {
 		return e.Job
 	case *BlockEvicted:
 		return e.Job
+	case *ShuffleSpill:
+		return e.Job
 	case *FetchFailure:
 		return e.Job
 	case *SpeculativeTaskLaunched:
@@ -125,6 +127,12 @@ func (ml *metricsListener) OnEvent(ev Event) {
 		}
 		if m.FusedChain > jm.MaxFusedChain {
 			jm.MaxFusedChain = m.FusedChain
+		}
+		jm.SpilledBytes += m.SpilledBytes
+		jm.SpillCount += m.SpillCount
+		jm.ShuffleBufferBytes += m.ShuffleBufferBytes
+		if m.ExecutionPeakBytes > jm.ExecutionPeakBytes {
+			jm.ExecutionPeakBytes = m.ExecutionPeakBytes
 		}
 		if e.Recovery {
 			jm.RecoverySeconds += e.DurationSec

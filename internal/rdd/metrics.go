@@ -37,6 +37,17 @@ type JobMetrics struct {
 	PeakMaterializedBytes int64
 	MaxFusedChain         int
 
+	// Memory-manager accounting. SpilledBytes/SpillCount total the sorted
+	// runs tasks wrote under memory pressure; ShuffleBufferBytes sums each
+	// task's shuffle-buffer high-water mark (the bytes the hash shuffle held
+	// invisibly); ExecutionPeakBytes is the largest execution-memory grant
+	// any single task reached. All are scheduling-order-insensitive (sums and
+	// maxes over the task set), so they are part of the replay fingerprint.
+	SpilledBytes       int64
+	SpillCount         int
+	ShuffleBufferBytes int64
+	ExecutionPeakBytes int64
+
 	// Recovery accounting: what failure handling cost this job.
 	TaskRetries          int // task attempts beyond each task's first
 	StageAttempts        int // map-stage resubmissions after fetch failures
@@ -66,6 +77,9 @@ func (m JobMetrics) String() string {
 	s := fmt.Sprintf("%s(%s): %d stages, %d tasks, %.3f sim-s, %.3f cpu-s, dfs=%dB shuffle=%dB cache=%dB peakMat=%dB fused=%d",
 		m.Action, m.RDD, m.Stages, m.Tasks, m.VirtualSeconds, m.ComputeSeconds,
 		m.DFSBytes, m.ShuffleBytes, m.CacheReadBytes, m.PeakMaterializedBytes, m.MaxFusedChain)
+	if m.SpillCount > 0 {
+		s += fmt.Sprintf(" [spill: %d runs, %dB]", m.SpillCount, m.SpilledBytes)
+	}
 	if m.TaskRetries > 0 || m.StageAttempts > 0 {
 		s += fmt.Sprintf(" [recovery: %d retries, %d stage re-attempts, %d recomputed parts, %.3f sim-s]",
 			m.TaskRetries, m.StageAttempts, m.RecomputedPartitions, m.RecoverySeconds)

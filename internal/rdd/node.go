@@ -207,6 +207,17 @@ type taskContext struct {
 	// fusedChain is the longest fused narrow chain this task drove.
 	fusedChain int
 
+	// Execution-memory accounting. execReserved is the task's outstanding
+	// grant from the memory manager, released when the attempt ends;
+	// execPeak is its high-water mark. shuffleBufferPeak is the largest
+	// shuffle buffer (sort) or bucket set (hash) the task held; spilledBytes
+	// and spillCount record sorted runs written under memory pressure.
+	execReserved      int64
+	execPeak          int64
+	shuffleBufferPeak int64
+	spilledBytes      int64
+	spillCount        int
+
 	// events buffers the events this attempt produced (cache puts,
 	// evictions, fetch failures). Tasks run concurrently, so publishing from
 	// here would race; the scheduler flushes the buffer to the bus during
@@ -235,6 +246,52 @@ func (tc *taskContext) snapshot() TaskMetrics {
 		ShipBytes:           tc.shipBytes,
 		MaterializedBytes:   tc.materializedBytes,
 		FusedChain:          tc.fusedChain,
+		SpilledBytes:        tc.spilledBytes,
+		SpillCount:          tc.spillCount,
+		ShuffleBufferBytes:  tc.shuffleBufferPeak,
+		ExecutionPeakBytes:  tc.execPeak,
+	}
+}
+
+// acquireExecution asks the memory manager for execution memory on the
+// task's executor, publishing any evictions the acquisition caused and
+// updating the task's grant accounting. A false return under acqSpill or
+// acqMustFit means the pool (after any eviction the mode allows) cannot
+// cover the request.
+func (tc *taskContext) acquireExecution(bytes int64, mode acqMode) bool {
+	ok, evicted := tc.ctx.blocks.acquireExecution(tc.executor, bytes, mode)
+	for _, b := range evicted {
+		tc.emit(&BlockEvicted{Job: tc.job, RDD: b.key.rdd, Part: b.key.part, Executor: b.executor, Bytes: b.bytes})
+	}
+	if !ok {
+		return false
+	}
+	tc.execReserved += bytes
+	if tc.execReserved > tc.execPeak {
+		tc.execPeak = tc.execReserved
+	}
+	return true
+}
+
+// releaseExecution returns part of the task's execution grant to the pool.
+func (tc *taskContext) releaseExecution(bytes int64) {
+	tc.ctx.blocks.releaseExecution(tc.executor, bytes)
+	tc.execReserved -= bytes
+}
+
+// releaseAllExecution returns the task's whole outstanding grant; the
+// scheduler calls it when the attempt ends, success or panic alike.
+func (tc *taskContext) releaseAllExecution() {
+	if tc.execReserved > 0 {
+		tc.ctx.blocks.releaseExecution(tc.executor, tc.execReserved)
+		tc.execReserved = 0
+	}
+}
+
+// noteShuffleBuffer records a shuffle buffer high-water mark.
+func (tc *taskContext) noteShuffleBuffer(bytes int64) {
+	if bytes > tc.shuffleBufferPeak {
+		tc.shuffleBufferPeak = bytes
 	}
 }
 

@@ -332,6 +332,10 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 				defer func() {
 					t.computeSec = time.Since(start).Seconds()
 					t.tc = tc
+					// The attempt's execution-memory grant dies with it,
+					// success or failure — buffers and merge outputs are
+					// consumed by the downstream cursor before the barrier.
+					tc.releaseAllExecution()
 					if r := recover(); r != nil {
 						f := failure{t: t}
 						if ff, ok := r.(*fetchFailedError); ok {
@@ -692,13 +696,17 @@ func (c *Context) taskBaseDuration(t *task) float64 {
 		float64(tc.cacheLocalBytes)/memBps +
 		float64(tc.cacheDiskLocalBytes)/diskBps +
 		float64(tc.cacheRemoteBytes)/netBps +
-		float64(tc.shipBytes)/netBps
+		float64(tc.shipBytes)/netBps +
+		float64(tc.spilledBytes)/diskBps // sorted runs written under memory pressure
 
-	// Spill model: the task's share of execution memory is the non-storage
-	// memory divided over the executor's core slots; any working set beyond
-	// it spills to disk and is read back.
+	// Modelled spill: the task's share of execution memory is the unified
+	// pool's non-storage region divided over the executor's core slots; any
+	// working set beyond it spills to disk and is read back. (Accounted
+	// spills — tc.spilledBytes — are charged above from what the memory
+	// manager actually denied; this heuristic covers narrow-stage working
+	// sets the manager never sees.)
 	exec := c.cluster.Executor(t.executor)
-	execMemPerSlot := float64(exec.MemBytes) * (1 - cfg.StorageFraction) / float64(exec.Cores)
+	execMemPerSlot := float64(exec.MemBytes) * cfg.MemoryFraction * (1 - cfg.StorageFraction) / float64(exec.Cores)
 	if ws := float64(tc.workBytes()); ws > execMemPerSlot {
 		dur += 2 * (ws - execMemPerSlot) / diskBps
 	}

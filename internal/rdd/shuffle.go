@@ -1,9 +1,13 @@
-// Hash shuffle: map tasks partition their output by key hash into one bucket
-// per reduce partition and register the buckets with the shuffle manager;
-// reduce tasks fetch their bucket from every map output and merge. Outputs
-// are retained for the lifetime of the context (as with Spark's external
-// shuffle service on YARN, they survive executor failures), so a shuffle is
-// computed at most once per lineage.
+// Shuffle core shared by both shuffle implementations, plus the legacy hash
+// path. Map tasks produce one output per map partition — resident per-reduce
+// buckets, or (sort shuffle under memory pressure, see sortshuffle.go)
+// key-sorted run files on the DFS with an in-memory index — and register it
+// with the shuffle manager; reduce tasks fetch their partition from every map
+// output and merge. Outputs are retained for the lifetime of the context (as
+// with Spark's external shuffle service on YARN, they survive executor
+// failures), so a shuffle is computed at most once per lineage. Resident
+// bucket bytes are charged to the memory manager's shuffle-resident account;
+// run files live on the producing node's disk and are lost with the node.
 //
 // Bucket writes are pipeline breakers: the map side streams the fused narrow
 // chain's cursor directly into per-reduce buckets, so the map input is never
@@ -11,6 +15,11 @@
 // combining hash maps (Spark's map-side combine), shrinking shuffled bytes
 // to one pair per (bucket, key) before the fetch; Config.DisableMapSideCombine
 // ablates this for the `combine` benchmark experiment.
+//
+// The hash path holds every bucket resident and acquires the whole output's
+// bytes in one must-fit execution grant — under a memory cap that denial is
+// an OOM abort, the behaviour the `memory` benchmark experiment contrasts
+// with the sort path's spill-and-complete.
 
 package rdd
 
@@ -19,6 +28,8 @@ import (
 	"hash/maphash"
 	"iter"
 	"sync"
+
+	"sparkscore/internal/dfs"
 )
 
 // KV is a key-value pair, the element type of pair RDDs.
@@ -74,24 +85,69 @@ type mapKey struct {
 }
 
 type mapOutput struct {
-	node    int // cluster node that produced (and serves) the output
-	buckets []any
-	bytes   []int64
+	node     int // cluster node that produced (and serves) the output
+	executor int // executor whose memory holds resident buckets
+	buckets  []any
+	bytes    []int64
+	// runs is non-nil for a spilled sort-shuffle output: the buckets live in
+	// indexed run files on the producing node's disk instead of memory, and
+	// bytes holds encoded file bytes per reduce partition.
+	runs []*shuffleRun
+}
+
+// residentBytes is how much executor memory the output occupies (zero for
+// spilled outputs, whose data is on disk).
+func (mo *mapOutput) residentBytes() int64 {
+	if mo.runs != nil {
+		return 0
+	}
+	var total int64
+	for _, b := range mo.bytes {
+		total += b
+	}
+	return total
 }
 
 type shuffleManager struct {
 	mu      sync.Mutex
 	outputs map[mapKey]*mapOutput
+
+	// mem accounts resident bucket bytes per executor; fs holds spilled run
+	// files. Both are nil only in unit tests that never register outputs.
+	mem *memoryManager
+	fs  *dfs.FS
 }
 
 func newShuffleManager() *shuffleManager {
 	return &shuffleManager{outputs: map[mapKey]*mapOutput{}}
 }
 
-func (sm *shuffleManager) write(shuffle, mapPart, node int, buckets []any, bytes []int64) {
+// releaseLocked undoes an output's footprint: resident bytes leave the
+// memory manager's shuffle account, run files leave the DFS.
+func (sm *shuffleManager) releaseLocked(mo *mapOutput) {
+	if mo == nil {
+		return
+	}
+	if r := mo.residentBytes(); r > 0 && sm.mem != nil {
+		sm.mem.addShuffleResident(mo.executor, -r)
+	}
+	if sm.fs != nil {
+		for _, run := range mo.runs {
+			_ = sm.fs.Delete(run.file)
+		}
+	}
+}
+
+func (sm *shuffleManager) write(shuffle, mapPart, node, executor int, buckets []any, bytes []int64, runs []*shuffleRun) {
+	mo := &mapOutput{node: node, executor: executor, buckets: buckets, bytes: bytes, runs: runs}
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
-	sm.outputs[mapKey{shuffle, mapPart}] = &mapOutput{node: node, buckets: buckets, bytes: bytes}
+	k := mapKey{shuffle, mapPart}
+	sm.releaseLocked(sm.outputs[k])
+	if r := mo.residentBytes(); r > 0 && sm.mem != nil {
+		sm.mem.addShuffleResident(executor, r)
+	}
+	sm.outputs[k] = mo
 }
 
 func (sm *shuffleManager) has(shuffle, mapPart int) bool {
@@ -105,7 +161,9 @@ func (sm *shuffleManager) has(shuffle, mapPart int) bool {
 func (sm *shuffleManager) drop(shuffle, mapPart int) {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
-	delete(sm.outputs, mapKey{shuffle, mapPart})
+	k := mapKey{shuffle, mapPart}
+	sm.releaseLocked(sm.outputs[k])
+	delete(sm.outputs, k)
 }
 
 // dropNode destroys every map output served from the node: a machine loss
@@ -115,18 +173,21 @@ func (sm *shuffleManager) dropNode(node int) {
 	defer sm.mu.Unlock()
 	for k, mo := range sm.outputs {
 		if mo.node == node {
+			sm.releaseLocked(mo)
 			delete(sm.outputs, k)
 		}
 	}
 }
 
-// read fetches reduce partition p from all map outputs of the shuffle,
-// charging local or remote transfer on the task context. A missing output —
-// destroyed by a node loss or by fault injection — raises a fetchFailedError
-// that the scheduler turns into a map-stage resubmission.
-func (sm *shuffleManager) read(tc *taskContext, shuffle, reducePart, mapParts int) []any {
+// fetch locates all map outputs of the shuffle for one reduce task, charging
+// local or remote transfer of the reduce partition's bytes on the task
+// context. A missing output — destroyed by a node loss or by fault
+// injection — raises a fetchFailedError that the scheduler turns into a
+// map-stage resubmission. (Reading a spilled output's run files happens
+// lazily in mergeRuns, with the same failure semantics.)
+func (sm *shuffleManager) fetch(tc *taskContext, shuffle, reducePart, mapParts int) []*mapOutput {
 	tc.ctx.maybeInjectFetchFailure(tc, shuffle, mapParts)
-	out := make([]any, 0, mapParts)
+	out := make([]*mapOutput, 0, mapParts)
 	for m := 0; m < mapParts; m++ {
 		sm.mu.Lock()
 		mo, ok := sm.outputs[mapKey{shuffle, m}]
@@ -141,33 +202,38 @@ func (sm *shuffleManager) read(tc *taskContext, shuffle, reducePart, mapParts in
 		} else {
 			tc.shuffleRemoteBytes += mo.bytes[reducePart]
 		}
-		out = append(out, mo.buckets[reducePart])
+		out = append(out, mo)
 	}
 	return out
 }
 
 var hashSeed = maphash.MakeSeed()
 
-// hashPartition maps a key to a reduce partition. Integer and string keys are
-// hashed natively; anything else falls back to its fmt representation (slow
-// but correct; SparkScore itself only keys by int and string).
-func hashPartition[K comparable](k K, parts int) int {
-	var h uint64
+// hashKey hashes a shuffle key. Integer and string keys are hashed natively;
+// anything else falls back to its fmt representation (slow but correct;
+// SparkScore itself only keys by int and string). The sort shuffle orders
+// spilled runs by this hash, so partition grouping and key order agree
+// between the two shuffle implementations.
+func hashKey[K comparable](k K) uint64 {
 	switch v := any(k).(type) {
 	case int:
-		h = mix64(uint64(v))
+		return mix64(uint64(v))
 	case int32:
-		h = mix64(uint64(v))
+		return mix64(uint64(v))
 	case int64:
-		h = mix64(uint64(v))
+		return mix64(uint64(v))
 	case uint64:
-		h = mix64(v)
+		return mix64(v)
 	case string:
-		h = maphash.String(hashSeed, v)
+		return maphash.String(hashSeed, v)
 	default:
-		h = maphash.String(hashSeed, fmt.Sprint(v))
+		return maphash.String(hashSeed, fmt.Sprint(v))
 	}
-	return int(h % uint64(parts))
+}
+
+// hashPartition maps a key to a reduce partition.
+func hashPartition[K comparable](k K, parts int) int {
+	return int(hashKey(k) % uint64(parts))
 }
 
 func mix64(z uint64) uint64 {
@@ -226,9 +292,13 @@ func (m *orderedMap[K, V]) seq() iter.Seq[KV[K, V]] {
 	}
 }
 
-// writeBuckets registers a map task's buckets with the shuffle manager and
-// accounts the materialisation (bucket writes are pipeline breakers).
-func writeBuckets[K comparable, V any](ctx *Context, tc *taskContext, sd *shuffleDep, mapPart int, buckets [][]KV[K, V], bytesPerElem int64) {
+// registerBuckets registers a map task's resident buckets with the shuffle
+// manager and accounts the materialisation (bucket writes are pipeline
+// breakers). The caller is responsible for having charged the bytes to the
+// memory manager: the hash path acquires them in one must-fit grant
+// (writeBuckets), the sort path's no-spill flush holds them under its
+// already-granted buffer reservation.
+func registerBuckets[K comparable, V any](ctx *Context, tc *taskContext, sd *shuffleDep, mapPart int, buckets [][]KV[K, V], bytesPerElem int64) {
 	anyBuckets := make([]any, len(buckets))
 	bytes := make([]int64, len(buckets))
 	var total int64
@@ -238,7 +308,24 @@ func writeBuckets[K comparable, V any](ctx *Context, tc *taskContext, sd *shuffl
 		total += bytes[i]
 	}
 	tc.noteMaterialized(total)
-	ctx.shuffle.write(sd.id, mapPart, tc.node(), anyBuckets, bytes)
+	ctx.shuffle.write(sd.id, mapPart, tc.node(), tc.executor, anyBuckets, bytes, nil)
+}
+
+// writeBuckets is the hash-shuffle registration: the whole output must fit in
+// execution memory at once — hash buckets cannot spill — so a denied grant is
+// the simulation's OOM, surfaced as a task failure the scheduler retries
+// until the job aborts.
+func writeBuckets[K comparable, V any](ctx *Context, tc *taskContext, sd *shuffleDep, mapPart int, buckets [][]KV[K, V], bytesPerElem int64) {
+	var total int64
+	for _, b := range buckets {
+		total += int64(len(b)) * bytesPerElem
+	}
+	if !tc.acquireExecution(total, acqMustFit) {
+		panic(fmt.Sprintf("executor %d out of memory: %d bytes of resident shuffle buckets exceed the unified pool (hash shuffle cannot spill; use Config.SortShuffle = ShuffleSort)",
+			tc.executor, total))
+	}
+	tc.noteShuffleBuffer(total)
+	registerBuckets(ctx, tc, sd, mapPart, buckets, bytesPerElem)
 }
 
 // bucketize streams pairs into one bucket per reduce partition, without
@@ -267,6 +354,14 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], combine func(V, V) V, pa
 	sd := &shuffleDep{id: ctx.newShuffleID(), parent: parent, parts: parts}
 	sd.runMap = func(tc *taskContext, mapPart int) {
 		in := seqOf[KV[K, V]](parent.iterate(tc, mapPart))
+		if ctx.cfg.SortShuffle == ShuffleSort {
+			mapCombine := combine
+			if ctx.cfg.DisableMapSideCombine {
+				mapCombine = nil
+			}
+			runSortMap(ctx, tc, sd, mapPart, in, parent.bytesPerElem, mapCombine)
+			return
+		}
 		var buckets [][]KV[K, V]
 		if ctx.cfg.DisableMapSideCombine {
 			buckets = bucketize(in, parts)
@@ -295,16 +390,37 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], combine func(V, V) V, pa
 	n.bytesPerElem = parent.bytesPerElem
 	n.compute = func(tc *taskContext, p int) any {
 		merged := newOrderedMap[K, V]()
-		for _, bucket := range ctx.shuffle.read(tc, sd.id, p, parent.parts) {
-			for _, kv := range bucket.([]KV[K, V]) {
-				if old, ok := merged.get(kv.K); ok {
-					merged.set(kv.K, combine(old, kv.V))
-				} else {
-					merged.set(kv.K, kv.V)
-				}
+		fold := func(m *orderedMap[K, V], k K, v V) {
+			if old, ok := m.get(k); ok {
+				m.set(k, combine(old, v))
+			} else {
+				m.set(k, v)
 			}
 		}
-		tc.noteMaterialized(int64(len(merged.keys)) * n.bytesPerElem)
+		for bucketSeq := range shuffleBucketSeqs[K, V](ctx, tc, sd, p, parent.parts) {
+			if ctx.cfg.DisableMapSideCombine {
+				for kv := range bucketSeq {
+					fold(merged, kv.K, kv.V)
+				}
+				continue
+			}
+			// Replay the map-side combine over this map output's pairs — an
+			// already-combined resident bucket passes through unchanged, raw
+			// spilled pairs get combined here — then fold the per-output
+			// results into the global merge. This reproduces the resident
+			// path's two-level fold tree, so float results are bitwise
+			// identical whether or not the output was spilled.
+			perMap := newOrderedMap[K, V]()
+			for kv := range bucketSeq {
+				fold(perMap, kv.K, kv.V)
+			}
+			for i, k := range perMap.keys {
+				fold(merged, k, perMap.vals[i])
+			}
+		}
+		est := int64(len(merged.keys)) * n.bytesPerElem
+		tc.acquireExecution(est, acqForce)
+		tc.noteMaterialized(est)
 		return boxSeq(merged.seq())
 	}
 	return &RDD[KV[K, V]]{n: n}
@@ -319,24 +435,23 @@ func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], parts int) *RDD[KV[K, []V
 	}
 	parent := r.n
 	sd := &shuffleDep{id: ctx.newShuffleID(), parent: parent, parts: parts}
-	sd.runMap = func(tc *taskContext, mapPart int) {
-		in := seqOf[KV[K, V]](parent.iterate(tc, mapPart))
-		writeBuckets(ctx, tc, sd, mapPart, bucketize(in, parts), parent.bytesPerElem)
-	}
+	sd.runMap = writeShuffleSide[K, V](ctx, sd, parent, parts)
 	n := newTypedNode[KV[K, []V]](ctx, fmt.Sprintf("groupByKey(%s)", parent.name), parts)
 	n.shuffleIn = []*shuffleDep{sd}
 	n.bytesPerElem = parent.bytesPerElem
 	n.compute = func(tc *taskContext, p int) any {
 		merged := newOrderedMap[K, []V]()
 		elems := 0
-		for _, bucket := range ctx.shuffle.read(tc, sd.id, p, parent.parts) {
-			for _, kv := range bucket.([]KV[K, V]) {
+		for bucketSeq := range shuffleBucketSeqs[K, V](ctx, tc, sd, p, parent.parts) {
+			for kv := range bucketSeq {
 				old, _ := merged.get(kv.K)
 				merged.set(kv.K, append(old, kv.V))
 				elems++
 			}
 		}
-		tc.noteMaterialized(int64(elems) * parent.bytesPerElem)
+		est := int64(elems) * parent.bytesPerElem
+		tc.acquireExecution(est, acqForce)
+		tc.noteMaterialized(est)
 		return boxSeq(merged.seq())
 	}
 	return &RDD[KV[K, []V]]{n: n}
@@ -358,9 +473,9 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int)
 	}
 	left, right := a.n, b.n
 	sdL := &shuffleDep{id: ctx.newShuffleID(), parent: left, parts: parts}
-	sdL.runMap = writeJoinSide[K, V](ctx, sdL, left, parts)
+	sdL.runMap = writeShuffleSide[K, V](ctx, sdL, left, parts)
 	sdR := &shuffleDep{id: ctx.newShuffleID(), parent: right, parts: parts}
-	sdR.runMap = writeJoinSide[K, W](ctx, sdR, right, parts)
+	sdR.runMap = writeShuffleSide[K, W](ctx, sdR, right, parts)
 
 	n := newTypedNode[KV[K, JoinPair[V, W]]](ctx, fmt.Sprintf("join(%s,%s)", left.name, right.name), parts)
 	n.shuffleIn = []*shuffleDep{sdL, sdR}
@@ -368,8 +483,8 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int)
 	n.compute = func(tc *taskContext, p int) any {
 		ls := newOrderedMap[K, []V]()
 		lElems := 0
-		for _, bucket := range ctx.shuffle.read(tc, sdL.id, p, left.parts) {
-			for _, kv := range bucket.([]KV[K, V]) {
+		for bucketSeq := range shuffleBucketSeqs[K, V](ctx, tc, sdL, p, left.parts) {
+			for kv := range bucketSeq {
 				old, _ := ls.get(kv.K)
 				ls.set(kv.K, append(old, kv.V))
 				lElems++
@@ -377,14 +492,16 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int)
 		}
 		rs := newOrderedMap[K, []W]()
 		rElems := 0
-		for _, bucket := range ctx.shuffle.read(tc, sdR.id, p, right.parts) {
-			for _, kv := range bucket.([]KV[K, W]) {
+		for bucketSeq := range shuffleBucketSeqs[K, W](ctx, tc, sdR, p, right.parts) {
+			for kv := range bucketSeq {
 				old, _ := rs.get(kv.K)
 				rs.set(kv.K, append(old, kv.V))
 				rElems++
 			}
 		}
-		tc.noteMaterialized(int64(lElems)*left.bytesPerElem + int64(rElems)*right.bytesPerElem)
+		est := int64(lElems)*left.bytesPerElem + int64(rElems)*right.bytesPerElem
+		tc.acquireExecution(est, acqForce)
+		tc.noteMaterialized(est)
 		return boxSeq[KV[K, JoinPair[V, W]]](func(yield func(KV[K, JoinPair[V, W]]) bool) {
 			for _, k := range ls.keys {
 				lvs, _ := ls.get(k)
@@ -405,9 +522,16 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int)
 	return &RDD[KV[K, JoinPair[V, W]]]{n: n}
 }
 
-func writeJoinSide[K comparable, V any](ctx *Context, sd *shuffleDep, parent *node, parts int) func(tc *taskContext, mapPart int) {
+// writeShuffleSide builds the map-task body of a non-combining shuffle
+// dependency (GroupByKey and each Join side), dispatching on the configured
+// shuffle implementation.
+func writeShuffleSide[K comparable, V any](ctx *Context, sd *shuffleDep, parent *node, parts int) func(tc *taskContext, mapPart int) {
 	return func(tc *taskContext, mapPart int) {
 		in := seqOf[KV[K, V]](parent.iterate(tc, mapPart))
+		if ctx.cfg.SortShuffle == ShuffleSort {
+			runSortMap(ctx, tc, sd, mapPart, in, parent.bytesPerElem, nil)
+			return
+		}
 		writeBuckets(ctx, tc, sd, mapPart, bucketize(in, parts), parent.bytesPerElem)
 	}
 }

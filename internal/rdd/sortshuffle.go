@@ -1,0 +1,372 @@
+// Sort-based external shuffle (the default; Spark's SortShuffleManager). Map
+// tasks append pairs to a buffer whose growth is charged to the memory
+// manager; when an acquisition is denied the buffer is sorted by
+// (reduce partition, key hash, arrival) and written to the DFS as one
+// length-prefixed run file on the map task's own node, with a per-partition
+// offset index kept on the map output. A map task that never spills registers
+// plain resident buckets, bit-identical to the hash shuffle's — ample memory
+// reproduces the legacy path exactly. Reduce tasks recombine each map
+// output's runs with a k-way streaming merge.
+//
+// Reproducibility contract. The engine guarantees that shuffle results are
+// bitwise identical whether or not memory pressure forced spilling, and
+// identical to the hash path. Float addition is not bitwise-associative, so
+// two rules follow:
+//
+//   - Runs carry raw pairs with their arrival indices, never partial
+//     aggregates; the reduce side replays the map-side combine per map
+//     output, then folds the per-output results — the exact fold tree of the
+//     resident path.
+//   - The k-way merge is keyed by arrival index, not key: the key order of
+//     the run files serves partition grouping and the sort itself, while the
+//     merge restores the arrival order every downstream fold depends on.
+
+package rdd
+
+import (
+	"bytes"
+	"compress/flate"
+	"container/heap"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"iter"
+	"sort"
+)
+
+// ShuffleMode selects the shuffle implementation (Config.SortShuffle).
+type ShuffleMode int
+
+const (
+	// ShuffleSort is the spillable sort-based shuffle (default).
+	ShuffleSort ShuffleMode = iota
+	// ShuffleHash is the legacy resident hash shuffle; it cannot spill.
+	ShuffleHash
+)
+
+func (m ShuffleMode) String() string {
+	switch m {
+	case ShuffleSort:
+		return "sort"
+	case ShuffleHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("ShuffleMode(%d)", int(m))
+	}
+}
+
+// spillRec is one shuffled pair inside a run file. A is the pair's arrival
+// index in its map partition, the sort key of the reduce-side merge. Fields
+// are exported for gob.
+type spillRec[K comparable, V any] struct {
+	A int64
+	K K
+	V V
+}
+
+// shuffleRun is one spilled run: a key-sorted, partition-grouped file on the
+// DFS plus the in-memory index locating each reduce partition's frame.
+type shuffleRun struct {
+	file       string
+	offs       []int64 // payload offset per reduce partition
+	lens       []int64 // payload length per reduce partition (0 = empty)
+	elems      []int   // pair count per reduce partition
+	compressed bool
+}
+
+// spillEvery is how many appended pairs the buffer admits between memory
+// acquisitions. Small enough that tiny scaled-down executor memories still
+// see multiple grants before denial, large enough to keep manager lock
+// traffic negligible.
+const spillEvery = 64
+
+// sortBuffer buffers one map task's shuffle output in arrival order,
+// spilling sorted runs when the memory manager denies growth.
+type sortBuffer[K comparable, V any] struct {
+	tc           *taskContext
+	sd           *shuffleDep
+	mapPart      int
+	bytesPerElem int64
+
+	pairs       []KV[K, V]
+	arrivalBase int64 // arrival index of pairs[0]
+	reserved    int64 // execution bytes granted for the current buffer
+	runs        []*shuffleRun
+}
+
+func newSortBuffer[K comparable, V any](tc *taskContext, sd *shuffleDep, mapPart int, bytesPerElem int64) *sortBuffer[K, V] {
+	return &sortBuffer[K, V]{tc: tc, sd: sd, mapPart: mapPart, bytesPerElem: bytesPerElem}
+}
+
+func (b *sortBuffer[K, V]) add(kv KV[K, V]) {
+	b.pairs = append(b.pairs, kv)
+	if len(b.pairs)%spillEvery == 0 {
+		b.ensure()
+	}
+}
+
+// ensure grows the buffer's execution-memory grant to cover its contents,
+// spilling when the manager says no. Requests are exact deltas, so the
+// grant—and the denial point—is a pure function of how many pairs arrived.
+func (b *sortBuffer[K, V]) ensure() {
+	need := int64(len(b.pairs))*b.bytesPerElem - b.reserved
+	if need <= 0 {
+		return
+	}
+	if b.tc.acquireExecution(need, acqSpill) {
+		b.reserved += need
+		return
+	}
+	b.spill()
+}
+
+// spill sorts the buffered pairs by (reduce partition, key hash, arrival),
+// writes them as one length-prefixed run file on the task's node, and
+// releases the buffer's memory grant.
+func (b *sortBuffer[K, V]) spill() {
+	n := len(b.pairs)
+	if n == 0 {
+		return
+	}
+	tc, sd := b.tc, b.sd
+	parts := sd.parts
+	b.tc.noteShuffleBuffer(int64(n) * b.bytesPerElem)
+
+	type sortEntry struct {
+		part int
+		hash uint64
+		idx  int
+	}
+	entries := make([]sortEntry, n)
+	for i, kv := range b.pairs {
+		h := hashKey(kv.K)
+		entries[i] = sortEntry{part: int(h % uint64(parts)), hash: h, idx: i}
+	}
+	// Stable on arrival order: equal (partition, hash) pairs keep it, and the
+	// reduce-side merge restores it globally from the stored indices.
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].part != entries[j].part {
+			return entries[i].part < entries[j].part
+		}
+		return entries[i].hash < entries[j].hash
+	})
+
+	run := &shuffleRun{
+		offs:       make([]int64, parts),
+		lens:       make([]int64, parts),
+		elems:      make([]int, parts),
+		compressed: tc.ctx.cfg.CompressSpills,
+	}
+	var file bytes.Buffer
+	i := 0
+	for p := 0; p < parts; p++ {
+		recs := make([]spillRec[K, V], 0, spillEvery)
+		for ; i < n && entries[i].part == p; i++ {
+			e := entries[i]
+			recs = append(recs, spillRec[K, V]{A: b.arrivalBase + int64(e.idx), K: b.pairs[e.idx].K, V: b.pairs[e.idx].V})
+		}
+		run.elems[p] = len(recs)
+		payload := encodeRunFrame(recs, run.compressed)
+		var hdr [8]byte
+		binary.BigEndian.PutUint64(hdr[:], uint64(len(payload)))
+		file.Write(hdr[:])
+		run.offs[p] = int64(file.Len())
+		run.lens[p] = int64(len(payload))
+		file.Write(payload)
+	}
+
+	runIdx := len(b.runs)
+	// Round and attempt in the name keep recomputed outputs from colliding
+	// with files a lost node's cleanup never saw.
+	run.file = fmt.Sprintf("_shuffle/s%d/m%d/run%d.r%da%d", sd.id, b.mapPart, runIdx, tc.round, tc.attempt)
+	if _, err := tc.ctx.fs.WriteLocal(run.file, file.Bytes(), tc.node()); err != nil {
+		panic(fmt.Sprintf("rdd: writing spill run %s: %v", run.file, err))
+	}
+	b.runs = append(b.runs, run)
+	tc.spilledBytes += int64(file.Len())
+	tc.spillCount++
+	tc.emit(&ShuffleSpill{Job: tc.job, Stage: tc.stage, Round: tc.round, Part: tc.part, Attempt: tc.attempt,
+		Executor: tc.executor, Shuffle: sd.id, Run: runIdx, Bytes: int64(file.Len()), Elems: n})
+
+	tc.releaseExecution(b.reserved)
+	b.reserved = 0
+	b.arrivalBase += int64(n)
+	b.pairs = nil
+}
+
+// encodeRunFrame gob-encodes one partition's records, deflating when asked.
+// An unencodable element type is a programming error worth a clear panic.
+func encodeRunFrame[K comparable, V any](recs []spillRec[K, V], compress bool) []byte {
+	var buf bytes.Buffer
+	var w io.Writer = &buf
+	var fw *flate.Writer
+	if compress {
+		fw, _ = flate.NewWriter(&buf, flate.BestSpeed)
+		w = fw
+	}
+	if err := gob.NewEncoder(w).Encode(recs); err != nil {
+		panic(fmt.Sprintf("rdd: shuffle spill cannot gob-encode %T: %v", recs, err))
+	}
+	if fw != nil {
+		fw.Close()
+	}
+	return buf.Bytes()
+}
+
+// runSortMap drives one map task of a sort-shuffle dependency: stream the
+// parent cursor through a spillable buffer, then register either resident
+// buckets (no spill — combine applies, output bit-identical to the hash
+// path) or the spilled runs plus a final run holding the tail.
+func runSortMap[K comparable, V any](ctx *Context, tc *taskContext, sd *shuffleDep, mapPart int,
+	in iter.Seq[KV[K, V]], bytesPerElem int64, combine func(V, V) V) {
+	buf := newSortBuffer[K, V](tc, sd, mapPart, bytesPerElem)
+	for kv := range in {
+		buf.add(kv)
+	}
+	buf.ensure()
+	parts := sd.parts
+	if len(buf.runs) == 0 {
+		tc.noteShuffleBuffer(int64(len(buf.pairs)) * bytesPerElem)
+		var buckets [][]KV[K, V]
+		if combine != nil {
+			combined := make([]*orderedMap[K, V], parts)
+			for i := range combined {
+				combined[i] = newOrderedMap[K, V]()
+			}
+			for _, kv := range buf.pairs {
+				b := combined[hashPartition(kv.K, parts)]
+				if old, ok := b.get(kv.K); ok {
+					b.set(kv.K, combine(old, kv.V))
+				} else {
+					b.set(kv.K, kv.V)
+				}
+			}
+			buckets = make([][]KV[K, V], parts)
+			for i, b := range combined {
+				buckets[i] = b.pairs()
+			}
+		} else {
+			buckets = make([][]KV[K, V], parts)
+			for _, kv := range buf.pairs {
+				i := hashPartition(kv.K, parts)
+				buckets[i] = append(buckets[i], kv)
+			}
+		}
+		registerBuckets(ctx, tc, sd, mapPart, buckets, bytesPerElem)
+		return
+	}
+	buf.spill()
+	bytes := make([]int64, parts)
+	var total int64
+	for _, r := range buf.runs {
+		for p := 0; p < parts; p++ {
+			bytes[p] += r.lens[p]
+			total += r.lens[p]
+		}
+	}
+	tc.noteMaterialized(total)
+	ctx.shuffle.write(sd.id, mapPart, tc.node(), tc.executor, nil, bytes, buf.runs)
+}
+
+// runCursor is one run segment being merged: records re-sorted to arrival
+// order, plus the merge position.
+type runCursor[K comparable, V any] struct {
+	recs []spillRec[K, V]
+	pos  int
+}
+
+// runHeap is the k-way merge frontier, ordered by the arrival index at each
+// cursor's head.
+type runHeap[K comparable, V any] []*runCursor[K, V]
+
+func (h runHeap[K, V]) Len() int           { return len(h) }
+func (h runHeap[K, V]) Less(i, j int) bool { return h[i].recs[h[i].pos].A < h[j].recs[h[j].pos].A }
+func (h runHeap[K, V]) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap[K, V]) Push(x any)        { *h = append(*h, x.(*runCursor[K, V])) }
+func (h *runHeap[K, V]) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// decodeRunFrame reads one reduce partition's records out of a run file,
+// restoring arrival order (frames are stored key-sorted). A missing or
+// unreadable file means the map output is gone — a fetch failure, exactly as
+// when a resident output disappears.
+func decodeRunFrame[K comparable, V any](tc *taskContext, shuffle, mapPart int, run *shuffleRun, reducePart int) []spillRec[K, V] {
+	if run.lens[reducePart] == 0 && run.elems[reducePart] == 0 {
+		return nil
+	}
+	raw, err := tc.ctx.fs.ReadAll(run.file)
+	if err != nil {
+		tc.emit(&FetchFailure{Job: tc.job, Stage: tc.stage, Round: tc.round, Part: tc.part,
+			Attempt: tc.attempt, Shuffle: shuffle, MapPart: mapPart})
+		panic(&fetchFailedError{shuffle: shuffle, mapPart: mapPart})
+	}
+	seg := raw[run.offs[reducePart] : run.offs[reducePart]+run.lens[reducePart]]
+	var r io.Reader = bytes.NewReader(seg)
+	if run.compressed {
+		r = flate.NewReader(r)
+	}
+	var recs []spillRec[K, V]
+	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
+		panic(fmt.Sprintf("rdd: decoding spill run %s: %v", run.file, err))
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].A < recs[j].A })
+	return recs
+}
+
+// mergeRuns streams one map output's spilled pairs for the reduce partition
+// in arrival order: a k-way heap merge of the runs keyed by arrival index.
+func mergeRuns[K comparable, V any](tc *taskContext, shuffle, mapPart int, runs []*shuffleRun, reducePart int) iter.Seq[KV[K, V]] {
+	return func(yield func(KV[K, V]) bool) {
+		h := make(runHeap[K, V], 0, len(runs))
+		for _, run := range runs {
+			recs := decodeRunFrame[K, V](tc, shuffle, mapPart, run, reducePart)
+			if len(recs) > 0 {
+				h = append(h, &runCursor[K, V]{recs: recs})
+			}
+		}
+		heap.Init(&h)
+		for h.Len() > 0 {
+			cur := h[0]
+			rec := cur.recs[cur.pos]
+			if !yield(KV[K, V]{K: rec.K, V: rec.V}) {
+				return
+			}
+			cur.pos++
+			if cur.pos == len(cur.recs) {
+				heap.Pop(&h)
+			} else {
+				heap.Fix(&h, 0)
+			}
+		}
+	}
+}
+
+// shuffleBucketSeqs fetches the reduce partition from every map output of the
+// shuffle and yields one pair sequence per map output, in map-partition
+// order. A resident output streams its bucket as-is; a spilled output is
+// recombined by mergeRuns. Either way the inner sequence is the map task's
+// arrival order, so reduce-side folds see the same pair order the hash
+// shuffle delivered.
+func shuffleBucketSeqs[K comparable, V any](ctx *Context, tc *taskContext, sd *shuffleDep, reducePart, mapParts int) iter.Seq[iter.Seq[KV[K, V]]] {
+	outs := ctx.shuffle.fetch(tc, sd.id, reducePart, mapParts)
+	return func(yield func(iter.Seq[KV[K, V]]) bool) {
+		for m, mo := range outs {
+			var seq iter.Seq[KV[K, V]]
+			if mo.runs == nil {
+				bucket := mo.buckets[reducePart].([]KV[K, V])
+				seq = func(yield func(KV[K, V]) bool) {
+					for _, kv := range bucket {
+						if !yield(kv) {
+							return
+						}
+					}
+				}
+			} else {
+				seq = mergeRuns[K, V](tc, sd.id, m, mo.runs, reducePart)
+			}
+			if !yield(seq) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Sort-shuffle acceptance pins: bitwise parity with the hash shuffle at two
+// scales and under the chaos fault profile, spill-and-complete under a memory
+// cap below the shuffle working set (with byte-identical stripped event logs
+// across seeded replays), and the hash path's OOM abort at the same cap.
+
+package rdd
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"sparkscore/internal/cluster"
+)
+
+// floatShuffleResult runs a float64 pipeline whose ReduceByKey sums are
+// sensitive to fold order — any change in pair order or fold tree shows up in
+// the result bits — followed by a Join (non-combining shuffle coverage).
+func floatShuffleResult(t *testing.T, cfg Config, n, parts int) ([]KV[int, JoinPair[float64, float64]], *Context) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Parallelize(c, seq(n), parts)
+	pairs := Map(base, "fkey", func(x int) KV[int, float64] {
+		return KV[int, float64]{K: x % 31, V: 1.0 / float64(x+1)}
+	})
+	sums := ReduceByKey(pairs, func(a, b float64) float64 { return a + b }, parts)
+	weights := Map(Parallelize(c, seq(31), 2), "wkey", func(k int) KV[int, float64] {
+		return KV[int, float64]{K: k, V: float64(k) * 0.1}
+	})
+	out, err := Collect(Join(sums, weights, parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, c
+}
+
+func assertBitwiseEqual(t *testing.T, got, want []KV[int, JoinPair[float64, float64]], label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].K != want[i].K ||
+			math.Float64bits(got[i].V.Left) != math.Float64bits(want[i].V.Left) ||
+			math.Float64bits(got[i].V.Right) != math.Float64bits(want[i].V.Right) {
+			t.Fatalf("%s: result %d = %+v, want bitwise %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSortHashShuffleParity pins that with ample memory the sort shuffle
+// produces bitwise-identical results to the hash shuffle, at two scales.
+func TestSortHashShuffleParity(t *testing.T) {
+	for _, n := range []int{2000, 60000} {
+		base := Config{Cluster: cluster.Config{Nodes: 4, Spec: cluster.M3TwoXLarge}, Seed: 42}
+		sortCfg, hashCfg := base, base
+		sortCfg.SortShuffle = ShuffleSort
+		hashCfg.SortShuffle = ShuffleHash
+		sorted, _ := floatShuffleResult(t, sortCfg, n, 8)
+		hashed, _ := floatShuffleResult(t, hashCfg, n, 8)
+		assertBitwiseEqual(t, sorted, hashed, "sort vs hash")
+		if len(sorted) != 31 {
+			t.Fatalf("n=%d: %d joined keys, want 31", n, len(sorted))
+		}
+	}
+}
+
+// TestSortHashShuffleParityUnderChaos pins the same bitwise parity when task
+// crashes and fetch failures force retries and map-stage recomputation in
+// both modes.
+func TestSortHashShuffleParityUnderChaos(t *testing.T) {
+	// Milder probabilities than the single-shuffle chaos tests: this pipeline
+	// crosses three shuffles, and the per-stage attempt budget must survive.
+	base := Config{
+		Cluster: cluster.Config{Nodes: 3, Spec: cluster.M3TwoXLarge},
+		Seed:    7,
+		Faults:  FaultProfile{TaskCrashProb: 0.08, FetchFailureProb: 0.04},
+	}
+	sortCfg, hashCfg := base, base
+	sortCfg.SortShuffle = ShuffleSort
+	hashCfg.SortShuffle = ShuffleHash
+	sorted, sc := floatShuffleResult(t, sortCfg, 20000, 6)
+	hashed, _ := floatShuffleResult(t, hashCfg, 20000, 6)
+	assertBitwiseEqual(t, sorted, hashed, "chaos sort vs hash")
+	var retries int
+	for _, m := range sc.Jobs() {
+		retries += m.TaskRetries + m.StageAttempts
+	}
+	if retries == 0 {
+		t.Fatal("chaos profile injected no recovery work; parity pin is vacuous")
+	}
+}
+
+// cappedCluster is one executor whose pool (~107 KB) sits well below the
+// ~160 KB per-task shuffle buffer the capped tests build, so the sort path
+// must spill and the hash path cannot fit its buckets.
+func cappedCluster() cluster.Config {
+	return cluster.Config{
+		Nodes:             1,
+		Spec:              cluster.NodeSpec{Name: "capped", VCPUs: 4, MemGiB: 1},
+		ExecutorsPerNode:  1,
+		CoresPerExecutor:  4,
+		MemPerExecutorGiB: 0.0001,
+	}
+}
+
+// TestSortShuffleSpillsAndMatchesUncapped pins the tentpole property: with
+// executor memory capped below the shuffle working set the sort path spills
+// sorted runs, completes, and produces results bitwise identical to an
+// uncapped run — and two capped seeded replays write byte-identical stripped
+// event logs, spills included.
+func TestSortShuffleSpillsAndMatchesUncapped(t *testing.T) {
+	const n, parts = 40000, 4
+	ample, _ := floatShuffleResult(t, Config{
+		Cluster: cluster.Config{Nodes: 4, Spec: cluster.M3TwoXLarge}, Seed: 42,
+	}, n, parts)
+
+	run := func() ([]KV[int, JoinPair[float64, float64]], []JobMetrics, string) {
+		var buf bytes.Buffer
+		elw := NewEventLogWriter(&buf)
+		// Workers: 1 serialises host-side execution: memory-manager denials,
+		// and with them spill points, are a pure function of the config.
+		out, c := floatShuffleResult(t, Config{
+			Cluster: cappedCluster(), Seed: 42, Workers: 1, Listeners: []Listener{elw},
+		}, n, parts)
+		if err := elw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		events, err := ReadEventLog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stripped strings.Builder
+		for _, ev := range events {
+			line, err := MarshalEvent(StripMeasuredTime(ev))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripped.Write(line)
+			stripped.WriteByte('\n')
+		}
+		return out, c.Jobs(), stripped.String()
+	}
+
+	capped, jobs, log1 := run()
+	assertBitwiseEqual(t, capped, ample, "capped sort vs uncapped")
+
+	var spills, spilledBytes, bufferBytes int64
+	for _, m := range jobs {
+		spills += int64(m.SpillCount)
+		spilledBytes += m.SpilledBytes
+		bufferBytes += m.ShuffleBufferBytes
+		if m.SpillCount > 0 && m.ExecutionPeakBytes == 0 {
+			t.Fatalf("job %q spilled without an execution-memory peak", m.RDD)
+		}
+	}
+	if spills == 0 || spilledBytes == 0 {
+		t.Fatalf("capped run spilled %d runs / %d bytes, want > 0 — the cap is not below the working set", spills, spilledBytes)
+	}
+	if bufferBytes == 0 {
+		t.Fatal("capped run reports zero shuffle-buffer bytes")
+	}
+	if !strings.Contains(log1, `"type":"ShuffleSpill"`) {
+		t.Fatal("event log holds no ShuffleSpill events")
+	}
+
+	_, _, log2 := run()
+	if log1 != log2 {
+		t.Fatal("stripped event logs differ across seeded replays of the capped run")
+	}
+}
+
+// TestHashShuffleOOMAbortsUnderCap pins the contrast case: at the same cap
+// the hash shuffle, which must hold its buckets resident, aborts the job with
+// the task-retry path reporting the out-of-memory grant denial — while the
+// sort shuffle completes the identical workload by spilling. The workload is
+// a GroupByKey: map-side combine cannot shrink its buckets, so the resident
+// set is the full raw pair set, the case that kills the hash path in
+// practice. (A combining ReduceByKey's buckets hold one pair per key and fit
+// almost any cap — which is exactly why the `memory` experiment measures the
+// working set from the hash path's own buffer high-water mark.)
+func TestHashShuffleOOMAbortsUnderCap(t *testing.T) {
+	groupAll := func(mode ShuffleMode) ([]KV[int, []float64], error) {
+		c, err := New(Config{Cluster: cappedCluster(), Seed: 42, Workers: 1, SortShuffle: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := Map(Parallelize(c, seq(40000), 4), "fkey", func(x int) KV[int, float64] {
+			return KV[int, float64]{K: x % 31, V: 1.0 / float64(x+1)}
+		})
+		return Collect(GroupByKey(pairs, 4))
+	}
+
+	_, err := groupAll(ShuffleHash)
+	var aborted *TaskAbortedError
+	if !errors.As(err, &aborted) {
+		t.Fatalf("capped hash shuffle returned %v, want TaskAbortedError", err)
+	}
+	if !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("abort cause %q does not name the OOM", err)
+	}
+
+	got, err := groupAll(ShuffleSort)
+	if err != nil {
+		t.Fatalf("capped sort shuffle failed the workload the hash path aborts: %v", err)
+	}
+	if len(got) != 31 {
+		t.Fatalf("capped sort shuffle grouped %d keys, want 31", len(got))
+	}
+}
