@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke trace experiments
+.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke adaptive-smoke fuzz-smoke cover trace experiments
 
 # tier1 is the CI gate: formatting, vet, build, the full test suite under the
 # race detector (the recovery layer is concurrent by construction), a smoke
@@ -9,8 +9,10 @@ GO ?= go
 # cancellation freeing its pool slot), the speculation ablation's >= 3x
 # straggler-mitigation claim, the columnar engine's byte-parity and
 # >= 4x packed-storage claims, and the sort shuffle's spill-and-match claim
-# under a memory cap the hash shuffle cannot survive.
-tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke
+# under a memory cap the hash shuffle cannot survive, the adaptive planner's
+# bitwise parity and skew-mitigation claims, and the per-package coverage
+# floors in coverage_baseline.txt.
+tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke adaptive-smoke cover
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -95,6 +97,47 @@ spill-smoke:
 	fi
 	$(GO) run ./cmd/benchtab -exp memory -json
 	@echo "spill-smoke: capped sort report identical to uncapped; hash aborted"
+
+# adaptive-smoke runs the same analysis with the adaptive planner off and on
+# and diffs the reports byte for byte (coalescing and skew splitting must be
+# invisible in results), then runs the adaptive ablation (which itself asserts
+# parity, a >= 1.3x stage-time win on the skewed scenario, and coalescing on
+# the partition-dust scenario) and refreshes the BENCH_adaptive.json snapshot.
+adaptive-smoke:
+	$(GO) run ./cmd/sparkscore -generate -patients 60 -snps 300 -sets 6 -iterations 10 \
+		-adaptive=false -out $${TMPDIR:-/tmp}/sparkscore-static.tsv > /dev/null
+	$(GO) run ./cmd/sparkscore -generate -patients 60 -snps 300 -sets 6 -iterations 10 \
+		-adaptive=true -out $${TMPDIR:-/tmp}/sparkscore-adaptive.tsv > /dev/null
+	cmp $${TMPDIR:-/tmp}/sparkscore-static.tsv $${TMPDIR:-/tmp}/sparkscore-adaptive.tsv
+	$(GO) run ./cmd/benchtab -exp adaptive -json
+	@echo "adaptive-smoke: adaptive and static reports identical"
+
+# fuzz-smoke gives each native fuzz target a 10s budget on top of its checked-in
+# seed corpus (testdata/fuzz). The targets assert the GenoBlock text codec
+# round-trips whatever it accepts and the spill-frame reader returns errors
+# instead of panicking on arbitrary bytes.
+fuzz-smoke:
+	$(GO) test ./internal/data -run='^$$' -fuzz=FuzzGenoBlockTextRoundTrip -fuzztime=10s
+	$(GO) test ./internal/rdd -run='^$$' -fuzz=FuzzDecodeFrameBytes -fuzztime=10s
+
+# cover enforces the per-package statement-coverage floors recorded in
+# coverage_baseline.txt: <package> <min-percent> per line, '#' comments
+# ignored. A package dropping below its floor fails tier-1.
+cover:
+	@fail=0; \
+	while read -r pkg min; do \
+		case "$$pkg" in ''|\#*) continue;; esac; \
+		line=$$($(GO) test -count=1 -cover "$$pkg" 2>&1 | grep -E '^ok .*coverage:'); \
+		if [ -z "$$line" ]; then echo "cover: no coverage line for $$pkg"; fail=1; continue; fi; \
+		pct=$$(echo "$$line" | sed -E 's/.*coverage: ([0-9.]+)% of statements.*/\1/'); \
+		ok=$$(awk -v p="$$pct" -v m="$$min" 'BEGIN { print (p >= m) ? 1 : 0 }'); \
+		if [ "$$ok" = 1 ]; then \
+			echo "cover: $$pkg $$pct% (floor $$min%)"; \
+		else \
+			echo "cover: $$pkg $$pct% BELOW floor $$min%"; fail=1; \
+		fi; \
+	done < coverage_baseline.txt; \
+	exit $$fail
 
 # trace runs the quickstart with a timeline listener and leaves a Chrome-trace
 # JSON next to the repo root (open in chrome://tracing or ui.perfetto.dev).

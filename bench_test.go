@@ -303,10 +303,11 @@ func TestBenchmarkRegistryMatchesPaperArtifacts(t *testing.T) {
 	// The paper's 7 artifacts plus the chaos (lineage recovery), combine
 	// (map-side combine ablation), serving (FIFO vs FAIR job-server
 	// latency), speculation (straggler mitigation), columnar (2-bit
-	// packed genotype engine), and memory (sort-shuffle spill vs hash
-	// OOM under a capped unified pool) experiments.
-	if len(harness.Experiments()) != 13 {
-		t.Errorf("%d canonical experiments, want 13", len(harness.Experiments()))
+	// packed genotype engine), memory (sort-shuffle spill vs hash OOM
+	// under a capped unified pool), and adaptive (skew splitting and
+	// partition coalescing) experiments.
+	if len(harness.Experiments()) != 14 {
+		t.Errorf("%d canonical experiments, want 14", len(harness.Experiments()))
 	}
 	_ = fmt.Sprintf // keep fmt imported alongside future debug logging
 }

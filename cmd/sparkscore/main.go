@@ -40,6 +40,7 @@ func main() {
 		family     = flag.String("family", "cox", `score family: "cox", "gaussian", or "binomial"`)
 		noCache    = flag.Bool("no-cache", false, "disable caching of the score-contribution RDD")
 		columnar   = flag.Bool("columnar", true, "use the 2-bit packed columnar genotype engine (false: boxed per-row pipeline)")
+		adaptive   = flag.Bool("adaptive", false, "enable adaptive stage execution (coalesce small reduce partitions, split skewed ones from observed map-output sizes); results are bitwise identical either way")
 		setStat    = flag.String("set-stat", "skat", `SNP-set statistic: "skat" or "burden"`)
 		betaWts    = flag.Bool("beta-weights", false, "replace input weights with Beta(MAF;1,25) weights (Wu et al. 2011)")
 		seed       = flag.Uint64("seed", 1, "seed for data generation and resampling")
@@ -106,6 +107,7 @@ func main() {
 		Seed:        *seed,
 		SortShuffle: shuffle,
 		Workers:     *workers,
+		Adaptive:    rdd.AdaptiveConfig{Enabled: *adaptive},
 		Listeners:   listeners,
 	})
 	if err != nil {

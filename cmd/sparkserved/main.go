@@ -45,6 +45,7 @@ import (
 	"sparkscore/internal/gen"
 	"sparkscore/internal/rdd"
 	"sparkscore/internal/server"
+	"sparkscore/internal/tuner"
 )
 
 func main() {
@@ -68,8 +69,10 @@ func main() {
 		cores = flag.Int("cores", 4, "cores per container")
 		mem   = flag.Float64("mem", 10, "memory per container (GiB)")
 
-		mode  = flag.String("mode", "fair", `job scheduler: "fifo" or "fair"`)
-		pools = flag.String("pools", "", `serving pools as a JSON array, or @file to read one (default: a single "default" pool)`)
+		mode     = flag.String("mode", "fair", `job scheduler: "fifo" or "fair"`)
+		pools    = flag.String("pools", "", `serving pools as a JSON array, or @file to read one (default: a single "default" pool)`)
+		autotune = flag.Bool("autotune", false, "enable the online tuner: observe stage stats and retune default parallelism between served jobs (off by default; tuned runs are not bit-comparable to the batch CLI)")
+		adaptive = flag.Bool("adaptive", false, "enable adaptive stage execution (coalescing + skew splitting)")
 
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	)
@@ -103,6 +106,7 @@ func main() {
 		},
 		Seed:      *seed,
 		Scheduler: server.SchedulerConfig(schedMode, poolCfgs),
+		Adaptive:  rdd.AdaptiveConfig{Enabled: *adaptive},
 	})
 	if err != nil {
 		fatal(err)
@@ -123,7 +127,13 @@ func main() {
 			fatal(err)
 		}
 	}
-	srv, err := server.New(server.Config{Context: ctx, Analysis: analysis, Pools: poolCfgs})
+	var online *tuner.Online
+	scfg := server.Config{Context: ctx, Analysis: analysis, Pools: poolCfgs}
+	if *autotune {
+		online = tuner.NewOnline(ctx, tuner.OnlineConfig{})
+		scfg.Tuner = online
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -56,6 +56,7 @@ type stage struct {
 	spills         int   // sorted runs the stage's tasks spilled
 	spilledBytes   int64 // encoded bytes of those runs
 	recovery       bool
+	prefetch       bool // adaptive skew-split sub-fetch stage
 	failed         bool
 	done           bool
 	attempts       []*rdd.TaskEnd
@@ -92,6 +93,7 @@ type model struct {
 	events   int
 	jobs     []*job
 	recovery []recoveryEvent
+	adaptive []*rdd.AdaptivePlan
 }
 
 // build folds the event stream into jobs, stages, and recovery rows.
@@ -142,8 +144,10 @@ func build(events []rdd.Event) *model {
 			j.tasks += e.NumTasks
 			j.stages = append(j.stages, &stage{
 				id: e.Stage, round: e.Round, rdd: e.RDD,
-				tasks: e.NumTasks, recovery: e.Recovery,
+				tasks: e.NumTasks, recovery: e.Recovery, prefetch: e.Prefetch,
 			})
+		case *rdd.AdaptivePlan:
+			m.adaptive = append(m.adaptive, e)
 		case *rdd.StageCompleted:
 			if s := openStage(jobOf(e.Job), e.Stage, e.Round); s != nil {
 				s.done, s.failed = true, e.Failed
@@ -218,13 +222,27 @@ func (m *model) render(w *os.File, withTasks bool) {
 	st := metrics.NewTable("stages", "job", "stage", "round", "tasks", "failed-attempts", "spills", "spilled-B", "sim-s", "recovery", "rdd")
 	for _, j := range m.jobs {
 		for _, s := range j.stages {
-			st.AddRowf(int(j.id), stageLabel(s.id), s.round, s.tasks, s.failedAttempts,
+			label := stageLabel(s.id)
+			if s.prefetch {
+				label += " [prefetch]"
+			}
+			st.AddRowf(int(j.id), label, s.round, s.tasks, s.failedAttempts,
 				s.spills, s.spilledBytes,
 				metrics.FormatSeconds(s.seconds), flag3(s.recovery, s.failed, s.done), truncate(s.rdd, 48))
 		}
 	}
 	st.Fprint(w)
 	fmt.Fprintln(w)
+
+	if len(m.adaptive) > 0 {
+		at := metrics.NewTable("adaptive plans", "job", "stage", "round", "parts", "tasks", "coalesced-groups", "skewed-parts", "sub-splits", "rdd")
+		for _, p := range m.adaptive {
+			at.AddRowf(int(p.Job), stageLabel(p.Stage), p.Round, p.Partitions, p.Tasks,
+				p.CoalescedGroups, fmt.Sprintf("%v", p.Skewed), p.SubSplits, truncate(p.RDD, 48))
+		}
+		at.Fprint(w)
+		fmt.Fprintln(w)
+	}
 
 	rt := metrics.NewTable("recovery events", "sim-t", "event")
 	for _, r := range m.recovery {

@@ -66,6 +66,7 @@ func Experiments() []Experiment {
 		{ID: "speculation", Title: "Speculation: stage wall-clock with 8x stragglers, speculative copies on/off", Run: runSpeculation},
 		{ID: "columnar", Title: "Columnar: 2-bit packed genotype engine vs boxed rows", Run: runColumnar},
 		{ID: "memory", Title: "Memory: sort-shuffle spill vs hash OOM under a capped unified pool", Run: runMemory},
+		{ID: "adaptive", Title: "Adaptive: skew splitting and partition coalescing, planner on/off", Run: runAdaptive},
 	}
 }
 

@@ -66,6 +66,11 @@ type Harness struct {
 	// to this path (benchtab's -json flag).
 	MemoryJSON string
 
+	// AdaptiveJSON, when set, makes the adaptive-execution experiment write
+	// its skew/coalesce grid as a JSON snapshot to this path (benchtab's
+	// -json flag).
+	AdaptiveJSON string
+
 	// extraListeners are attached to every run in addition to the
 	// EventLogDir/TraceDir observers; experiments use it to probe per-task
 	// metrics (the memory experiment's buffer high-water mark).

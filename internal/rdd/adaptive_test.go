@@ -1,0 +1,317 @@
+// The adaptive-execution parity property: for ANY plan — any partition
+// geometry, any byte skew, speculation on or off, chaos or not — the adaptive
+// planner must be invisible in the results. Coalescing replays member
+// partitions in partition order and skew splitting replays prefetched map
+// outputs in map-output order, so the pair stream every reduce partition
+// folds is identical to the static plan's; these tests pin that with 1000
+// seeded random plans (fewer under -short) plus targeted unit cases for the
+// planner's cut-point arithmetic.
+
+package rdd
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sparkscore/internal/cluster"
+)
+
+// randomPlan is one property-test case: a workload shape plus the fault,
+// speculation, and adaptive knobs it runs under.
+type randomPlan struct {
+	seed        uint64
+	elems       int
+	mapParts    int
+	reduceParts int
+	hint        int64
+	hotPct      int // percent of pairs on one hot key; 0 = uniform
+	coldKeys    int
+	group       bool // GroupByKey instead of ReduceByKey
+	faults      FaultProfile
+	spec        SpeculationConfig
+	adaptive    AdaptiveConfig // Enabled overridden per run
+}
+
+// makeRandomPlan derives case i deterministically, mixing skew, partition
+// dust, chaos, and speculation so the parity claim is exercised across the
+// whole plan space rather than the comfortable corner.
+func makeRandomPlan(i int) randomPlan {
+	rng := rand.New(rand.NewSource(int64(i)*2654435761 + 97))
+	p := randomPlan{
+		seed:        uint64(rng.Int63()),
+		elems:       40 + rng.Intn(360),
+		mapParts:    2 + rng.Intn(7),
+		reduceParts: 1 + rng.Intn(10),
+		hint:        []int64{8, 512, 4096}[rng.Intn(3)],
+		coldKeys:    4 + rng.Intn(60),
+		group:       rng.Intn(2) == 0,
+		adaptive: AdaptiveConfig{
+			TargetPartitionBytes: []int64{4 << 10, 64 << 10, 64 << 20}[rng.Intn(3)],
+			SkewFactor:           []float64{2, 5}[rng.Intn(2)],
+			SkewMinBytes:         []int64{1 << 10, 1 << 20}[rng.Intn(2)],
+			MaxSubSplits:         []int{2, 4, 8}[rng.Intn(3)],
+		},
+	}
+	switch rng.Intn(3) {
+	case 0:
+		p.hotPct = 50
+	case 1:
+		p.hotPct = 90
+	}
+	if rng.Intn(2) == 0 { // chaos: probability-keyed faults replay identically
+		p.faults = FaultProfile{
+			TaskCrashProb:    []float64{0, 0.02}[rng.Intn(2)],
+			FetchFailureProb: []float64{0, 0.02}[rng.Intn(2)],
+		}
+	}
+	if rng.Intn(3) == 0 {
+		p.faults.StragglerProb = 0.2
+		p.faults.StragglerFactor = 4
+	}
+	if rng.Intn(2) == 0 {
+		p.spec = SpeculationConfig{Enabled: true}
+	}
+	return p
+}
+
+// runPlan executes the plan once and returns the collected result rendered as
+// a string, the job-skeleton log (JobStart/JobEnd only, measured time
+// stripped), and the full stripped event log.
+//
+// The full log is comparable only between runs of the SAME mode: adaptive
+// runs charge the hot partition's fetch bytes to prefetch executors, so task
+// byte counters legitimately differ from the static plan. The cross-mode
+// contract is the result digest plus the job skeleton.
+func runPlan(t *testing.T, p randomPlan, enabled bool) (digest, skeleton, full string) {
+	t.Helper()
+	var buf bytes.Buffer
+	elw := NewEventLogWriter(&buf)
+	acfg := p.adaptive
+	acfg.Enabled = enabled
+	c, err := New(Config{
+		Cluster:          concTestCluster(),
+		Seed:             p.seed,
+		Faults:           p.faults,
+		Speculation:      p.spec,
+		Adaptive:         acfg,
+		StageOverheadSec: 1e-4,
+		SchedOverheadSec: 1e-4,
+		Listeners:        []Listener{elw},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Parallelize(c, seq(p.elems), p.mapParts)
+	hot, cold := p.hotPct, p.coldKeys
+	pairs := Map(base, "pairs", func(i int) KV[int, int] {
+		if i%100 < hot {
+			return KV[int, int]{K: 0, V: i}
+		}
+		return KV[int, int]{K: 1 + i%cold, V: i}
+	}).SetSizeHint(p.hint)
+	if p.group {
+		out, err := Collect(GroupByKey(pairs, p.reduceParts))
+		digest = render(out, err)
+	} else {
+		out, err := Collect(ReduceByKey(pairs, func(a, b int) int { return a + b }, p.reduceParts))
+		digest = render(out, err)
+	}
+	if err := elw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEventLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var skel, whole strings.Builder
+	for _, ev := range events {
+		line, err := MarshalEvent(StripMeasuredTime(ev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole.Write(line)
+		whole.WriteByte('\n')
+		switch ev.(type) {
+		case *JobStart, *JobEnd:
+			skel.Write(line)
+			skel.WriteByte('\n')
+		}
+	}
+	return digest, skel.String(), whole.String()
+}
+
+func render[T any](out []T, err error) string {
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return fmt.Sprintf("%v", out)
+}
+
+// TestAdaptiveParityProperty is the property suite: across 1000 seeded random
+// plans, the adaptive and static schedules must produce byte-identical
+// results and job skeletons, and the adaptive schedule itself must replay
+// bit-for-bit under the same seed (full stripped log compared on a sample of
+// plans — three runs per plan everywhere would double the suite's cost for no
+// extra coverage).
+func TestAdaptiveParityProperty(t *testing.T) {
+	plans := 1000
+	if testing.Short() {
+		plans = 120
+	}
+	for i := 0; i < plans; i++ {
+		p := makeRandomPlan(i)
+		staticDigest, staticSkel, _ := runPlan(t, p, false)
+		adaptDigest, adaptSkel, adaptFull := runPlan(t, p, true)
+		if strings.HasPrefix(staticDigest, "error:") || strings.HasPrefix(adaptDigest, "error:") {
+			// A job abort (task exceeding TaskMaxFailures under chaos) is a
+			// legal outcome, but its timing is mode-dependent; parity is a
+			// claim about produced results.
+			continue
+		}
+		if staticDigest != adaptDigest {
+			t.Fatalf("plan %d (%+v): adaptive result diverged from static\nstatic:   %.200s\nadaptive: %.200s",
+				i, p, staticDigest, adaptDigest)
+		}
+		if staticSkel != adaptSkel {
+			t.Fatalf("plan %d (%+v): job skeleton diverged\nstatic:\n%s\nadaptive:\n%s", i, p, staticSkel, adaptSkel)
+		}
+		if i%8 == 0 {
+			_, _, again := runPlan(t, p, true)
+			if again != adaptFull {
+				t.Fatalf("plan %d (%+v): adaptive run is not replay-stable under its own seed:\n%s",
+					i, p, firstDiffLines(adaptFull, again))
+			}
+		}
+	}
+}
+
+// TestAdaptiveDisabledLogsUnchanged pins that the default configuration emits
+// no adaptive events at all: a log written with the planner off must be
+// byte-identical to one from a build that never heard of adaptive execution,
+// so archived logs stay comparable.
+func TestAdaptiveDisabledLogsUnchanged(t *testing.T) {
+	p := makeRandomPlan(3)
+	p.faults = FaultProfile{}
+	p.spec = SpeculationConfig{}
+	_, _, full := runPlan(t, p, false)
+	for _, banned := range []string{"MapOutputStats", "AdaptivePlan", "prefetch", "\"sub\""} {
+		if strings.Contains(full, banned) {
+			t.Errorf("planner-off log contains %q:\n%s", banned, firstDiffLines(full, ""))
+		}
+	}
+}
+
+// TestSplitByteRanges pins the skew splitter's cut-point arithmetic: every
+// map output lands in exactly one range, ranges are contiguous and ordered,
+// and the split count never exceeds the requested k or the map-output count.
+func TestSplitByteRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(12)
+		perMap := make([]int64, n)
+		for i := range perMap {
+			perMap[i] = int64(rng.Intn(1 << 16))
+		}
+		ranges := splitByteRanges(perMap, k)
+		if len(ranges) == 0 || len(ranges) > k || len(ranges) > n {
+			t.Fatalf("trial %d: %d ranges for n=%d k=%d", trial, len(ranges), n, k)
+		}
+		next := 0
+		for _, rg := range ranges {
+			if rg.lo != next || rg.hi <= rg.lo {
+				t.Fatalf("trial %d: ranges not a contiguous partition of [0,%d): %+v", trial, n, ranges)
+			}
+			next = rg.hi
+		}
+		if next != n {
+			t.Fatalf("trial %d: ranges cover [0,%d) of [0,%d): %+v", trial, next, n, ranges)
+		}
+	}
+}
+
+// TestAdaptiveConfigValidate pins the config gate.
+func TestAdaptiveConfigValidate(t *testing.T) {
+	good := []AdaptiveConfig{
+		{},
+		{Enabled: true},
+		{Enabled: true, TargetPartitionBytes: 1 << 20, SkewFactor: 3, SkewMinBytes: 1, MaxSubSplits: 2},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %d: unexpected error %v", i, err)
+		}
+	}
+	bad := []AdaptiveConfig{
+		{TargetPartitionBytes: -1},
+		{MinPartitionNum: -2},
+		{SkewFactor: 0.5},
+		{SkewFactor: -1},
+		{SkewMinBytes: -1},
+		{MaxSubSplits: -3},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d (%+v): invalid config accepted", i, cfg)
+		}
+	}
+}
+
+// TestAdaptiveSkewSplitHappens is the positive control for the property
+// suite: with a hot partition far past the skew threshold the planner must
+// actually split (an AdaptivePlan event with the hot partition listed), so
+// the parity above is not vacuously comparing two static schedules.
+func TestAdaptiveSkewSplitHappens(t *testing.T) {
+	var plans []*AdaptivePlan
+	probe := ListenerFunc(func(ev Event) {
+		if e, ok := ev.(*AdaptivePlan); ok {
+			plans = append(plans, e)
+		}
+	})
+	c, err := New(Config{
+		Cluster: cluster.Config{
+			Nodes: 2, Spec: cluster.NodeSpec{Name: "skew", VCPUs: 8, MemGiB: 8},
+			ExecutorsPerNode: 2, CoresPerExecutor: 4, MemPerExecutorGiB: 2,
+		},
+		Seed:      5,
+		Adaptive:  AdaptiveConfig{Enabled: true, SkewMinBytes: 1 << 10},
+		Listeners: []Listener{probe},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GroupByKey, not ReduceByKey: map-side combine would collapse each map
+	// task's hot pairs to one and erase the byte skew being provoked.
+	pairs := Map(Parallelize(c, seq(2000), 8), "hot", func(i int) KV[int, int] {
+		if i%10 != 0 {
+			return KV[int, int]{K: 0, V: 1}
+		}
+		return KV[int, int]{K: 1 + i%7, V: 1}
+	}).SetSizeHint(4096)
+	out, err := Collect(GroupByKey(pairs, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotLen := -1
+	for _, kv := range out {
+		if kv.K == 0 {
+			hotLen = len(kv.V)
+		}
+	}
+	if hotLen != 1800 {
+		t.Fatalf("hot key group has %d values, want 1800", hotLen)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no AdaptivePlan emitted for a 9:1 skewed shuffle")
+	}
+	split := false
+	for _, p := range plans {
+		split = split || (len(p.Skewed) > 0 && p.SubSplits > 1)
+	}
+	if !split {
+		t.Fatalf("planner never split the hot partition: %+v", plans)
+	}
+}

@@ -124,6 +124,12 @@ type Config struct {
 	// tasks (spark.speculation.*). The zero value disables it.
 	Speculation SpeculationConfig
 
+	// Adaptive configures adaptive stage execution — coalescing of small
+	// reduce partitions and skew splitting from observed map-output sizes
+	// (spark.sql.adaptive.*). The zero value disables it; results are
+	// bitwise identical either way.
+	Adaptive AdaptiveConfig
+
 	// Scheduler configures multi-job arbitration (Spark's
 	// spark.scheduler.mode and fairscheduler.xml). The zero value is FIFO
 	// with no named pools: concurrent submissions run back-to-back in
@@ -202,6 +208,10 @@ type Context struct {
 	bus     *listenerBus
 	metrics *metricsListener
 
+	// adaptive collects MapOutputStats for the adaptive planner; nil unless
+	// Config.Adaptive.Enabled.
+	adaptive *adaptiveStats
+
 	// sched arbitrates cluster slots among concurrently running jobs.
 	sched *jobArbiter
 
@@ -223,6 +233,10 @@ type Context struct {
 	nextShuffleID int
 	nextJobID     uint64
 	pendingBcast  int64 // broadcast bytes not yet charged to a job
+
+	// parallelismOverride, when positive, replaces the cluster-derived
+	// DefaultParallelism — set by the online tuner between jobs.
+	parallelismOverride int
 
 	// activeJobs and pendingEvents buffer context-level events (node losses)
 	// raised while a job runs, so they reach the bus at a deterministic
@@ -272,7 +286,10 @@ func (c Config) validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
-	return c.Speculation.Validate()
+	if err := c.Speculation.Validate(); err != nil {
+		return err
+	}
+	return c.Adaptive.Validate()
 }
 
 // New builds a driver context over a fresh cluster and file system.
@@ -305,6 +322,10 @@ func New(cfg Config) (*Context, error) {
 		sched:          newJobArbiter(cfg.Scheduler, cfg.Seed),
 	}
 	ctx.bus.add(ctx.metrics)
+	if cfg.Adaptive.Enabled {
+		ctx.adaptive = newAdaptiveStats()
+		ctx.bus.add(ctx.adaptive)
+	}
 	for _, l := range cfg.Listeners {
 		if l != nil {
 			ctx.bus.add(l)

@@ -198,6 +198,16 @@ func StripMeasuredTime(ev Event) Event {
 		c := *e
 		c.Time = 0
 		return &c
+	case *MapOutputStats:
+		c := *e
+		c.Time = 0
+		c.BytesPerReduce = append([]int64(nil), e.BytesPerReduce...)
+		return &c
+	case *AdaptivePlan:
+		c := *e
+		c.Time = 0
+		c.Skewed = append([]int(nil), e.Skewed...)
+		return &c
 	default:
 		return ev
 	}

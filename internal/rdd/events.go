@@ -96,6 +96,9 @@ type StageSubmitted struct {
 	RDD      string `json:"rdd"`
 	NumTasks int    `json:"numTasks"`
 	Recovery bool   `json:"recovery,omitempty"`
+	// Prefetch marks the skew-split sub-stage adaptive execution runs ahead
+	// of a consuming stage (see adaptive.go).
+	Prefetch bool `json:"prefetch,omitempty"`
 }
 
 func (*StageSubmitted) Name() string { return "StageSubmitted" }
@@ -114,6 +117,7 @@ type StageCompleted struct {
 	Seconds        float64 `json:"seconds"`
 	Failed         bool    `json:"failed,omitempty"`
 	Error          string  `json:"error,omitempty"`
+	Prefetch       bool    `json:"prefetch,omitempty"`
 }
 
 func (*StageCompleted) Name() string { return "StageCompleted" }
@@ -132,12 +136,15 @@ type StageResubmitted struct {
 func (*StageResubmitted) Name() string { return "StageResubmitted" }
 
 // TaskStart marks a task attempt's virtual launch (SparkListenerTaskStart).
+// Sub distinguishes adaptive skew-split sub-tasks sharing one partition
+// (1-based within the prefetch sub-stage); 0 for ordinary tasks.
 type TaskStart struct {
 	EventTime
 	Job      uint64 `json:"job"`
 	Stage    uint64 `json:"stage"`
 	Round    int    `json:"round"`
 	Part     int    `json:"part"`
+	Sub      int    `json:"sub,omitempty"`
 	Attempt  int    `json:"attempt"`
 	Executor int    `json:"executor"`
 }
@@ -153,6 +160,7 @@ type TaskEnd struct {
 	Stage    uint64 `json:"stage"`
 	Round    int    `json:"round"`
 	Part     int    `json:"part"`
+	Sub      int    `json:"sub,omitempty"`
 	Attempt  int    `json:"attempt"`
 	Executor int    `json:"executor"`
 	OK       bool   `json:"ok"`
@@ -355,6 +363,8 @@ var eventFactories = map[string]func() Event{
 	"SpeculativeTaskLaunched": func() Event { return &SpeculativeTaskLaunched{} },
 	"TaskKilled":              func() Event { return &TaskKilled{} },
 	"JobCancelled":            func() Event { return &JobCancelled{} },
+	"MapOutputStats":          func() Event { return &MapOutputStats{} },
+	"AdaptivePlan":            func() Event { return &AdaptivePlan{} },
 }
 
 // listenerBus delivers events synchronously to every registered listener, in

@@ -37,6 +37,7 @@ import (
 
 type task struct {
 	part     int
+	sub      int // 1-based skew-split sub-task index (adaptive prefetch); 0 otherwise
 	executor int
 	attempt  int // 1-based attempt number of the latest launch
 	run      func(tc *taskContext)
@@ -183,7 +184,11 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 						tasks = append(tasks, &task{part: p, run: func(tc *taskContext) { sd.runMap(tc, p) }})
 					}
 					recovery := resubmits[sd.id] > 0
-					if err := c.runStage(jr, uint64(sd.id), round, sd.parent, tasks, recovery); err != nil {
+					tasks, err := c.adaptStage(jr, uint64(sd.id), round, sd.parent, tasks, recovery)
+					if err != nil {
+						return err
+					}
+					if err := c.runStage(jr, uint64(sd.id), round, sd.parent, tasks, recovery, false); err != nil {
 						return err
 					}
 					// Only now is the shuffle complete; marking it done before
@@ -207,14 +212,29 @@ func (c *Context) runJob(final *node, action string, eval func(tc *taskContext, 
 			}
 			p := p
 			tasks = append(tasks, &task{part: p, run: func(tc *taskContext) {
+				// An adaptive group task re-runs every member on an in-stage
+				// retry; partitions already visited by the first try must not
+				// be evaluated (or visited) twice.
+				visitMu.Lock()
+				done := completed[p]
+				visitMu.Unlock()
+				if done {
+					return
+				}
 				v := eval(tc, p)
 				visitMu.Lock()
-				visit(p, v)
-				completed[p] = true
+				if !completed[p] {
+					visit(p, v)
+					completed[p] = true
+				}
 				visitMu.Unlock()
 			}})
 		}
-		return c.runStage(jr, 0, round, final, tasks, round > 0)
+		tasks, err := c.adaptStage(jr, 0, round, final, tasks, round > 0)
+		if err != nil {
+			return err
+		}
+		return c.runStage(jr, 0, round, final, tasks, round > 0, false)
 	}
 
 	for round := 0; ; round++ {
@@ -280,13 +300,13 @@ func isFetchFailure(err error) bool {
 // times. It returns a *fetchFailedError when a task found a map output
 // missing — the caller resubmits the parent map stage — and a
 // *TaskAbortedError when a task exhausted its attempts.
-func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node, tasks []*task, recovery bool) error {
+func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node, tasks []*task, recovery, prefetch bool) error {
 	if len(tasks) == 0 {
 		return nil
 	}
 	job := jr.job
 	stageStart := jr.now()
-	c.emit(stageStart, &StageSubmitted{Job: job, Stage: stageID, Round: round, RDD: stageRDD.name, NumTasks: len(tasks), Recovery: recovery})
+	c.emit(stageStart, &StageSubmitted{Job: job, Stage: stageID, Round: round, RDD: stageRDD.name, NumTasks: len(tasks), Recovery: recovery, Prefetch: prefetch})
 
 	// Placement: prefer localities, balance by per-stage assignment counts.
 	// The same loads map threads through re-placements and retries so late
@@ -366,13 +386,19 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 		}
 		wg.Wait()
 
-		// Deterministic post-mortem, in partition order: attribute failures
-		// to executors, pick the error that escalates, build the retry wave.
-		sort.Slice(fails, func(i, j int) bool { return fails[i].t.part < fails[j].t.part })
+		// Deterministic post-mortem, in (partition, sub-task) order: attribute
+		// failures to executors, pick the error that escalates, build the
+		// retry wave.
+		sort.Slice(fails, func(i, j int) bool {
+			if fails[i].t.part != fails[j].t.part {
+				return fails[i].t.part < fails[j].t.part
+			}
+			return fails[i].t.sub < fails[j].t.sub
+		})
 		var retry []*task
 		for _, f := range fails {
 			t := f.t
-			charge := &task{part: t.part, executor: t.executor, attempt: t.attempt, computeSec: t.computeSec, tc: t.tc}
+			charge := &task{part: t.part, sub: t.sub, executor: t.executor, attempt: t.attempt, computeSec: t.computeSec, tc: t.tc}
 			noteFailure := func() {
 				if ev := c.noteTaskFailure(t.executor); ev != nil {
 					stageEvents = append(stageEvents, ev)
@@ -496,7 +522,7 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 	}
 	elapsed := makespan + c.cfg.StageOverheadSec
 	done := &StageCompleted{Job: job, Stage: stageID, Round: round, RDD: stageRDD.name,
-		NumTasks: len(tasks), FailedAttempts: len(charges), Seconds: elapsed}
+		NumTasks: len(tasks), FailedAttempts: len(charges), Seconds: elapsed, Prefetch: prefetch}
 	if stageErr != nil {
 		done.Failed, done.Error = true, stageErr.Error()
 	}
@@ -512,12 +538,12 @@ func (c *Context) runStage(jr *jobRun, stageID uint64, round int, stageRDD *node
 func (c *Context) emitAttempt(jr *jobRun, stage uint64, round int, stageStart float64, s *attemptSched) {
 	t := s.t
 	start, end := stageStart+s.done-s.dur, stageStart+s.effDone
-	c.emit(start, &TaskStart{Job: jr.job, Stage: stage, Round: round, Part: t.part, Attempt: t.attempt, Executor: t.executor})
+	c.emit(start, &TaskStart{Job: jr.job, Stage: stage, Round: round, Part: t.part, Sub: t.sub, Attempt: t.attempt, Executor: t.executor})
 	for _, ev := range t.tc.events {
 		c.emit(end, ev)
 	}
 	te := &TaskEnd{
-		Job: jr.job, Stage: stage, Round: round, Part: t.part, Attempt: t.attempt, Executor: t.executor,
+		Job: jr.job, Stage: stage, Round: round, Part: t.part, Sub: t.sub, Attempt: t.attempt, Executor: t.executor,
 		OK: t.ok, Failure: t.failMsg, Recovery: s.recovery,
 		StartSec: start, DurationSec: s.dur, ComputeSec: t.computeSec,
 		Metrics: t.tc.snapshot(),
@@ -539,7 +565,7 @@ func (c *Context) emitAttempt(jr *jobRun, stage uint64, round int, stageStart fl
 	c.emit(end, te)
 	if cp != nil {
 		cte := &TaskEnd{
-			Job: jr.job, Stage: stage, Round: round, Part: t.part, Attempt: t.attempt, Executor: cp.executor,
+			Job: jr.job, Stage: stage, Round: round, Part: t.part, Sub: t.sub, Attempt: t.attempt, Executor: cp.executor,
 			Speculative: true, Recovery: s.recovery,
 			StartSec: stageStart + cp.done - cp.dur, DurationSec: cp.dur,
 		}

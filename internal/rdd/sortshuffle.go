@@ -267,6 +267,7 @@ func runSortMap[K comparable, V any](ctx *Context, tc *taskContext, sd *shuffleD
 	}
 	tc.noteMaterialized(total)
 	ctx.shuffle.write(sd.id, mapPart, tc.node(), tc.executor, nil, bytes, buf.runs)
+	emitMapOutputStats(ctx, tc, sd, mapPart, bytes)
 }
 
 // runCursor is one run segment being merged: records re-sorted to arrival
@@ -286,28 +287,47 @@ func (h runHeap[K, V]) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *runHeap[K, V]) Push(x any)        { *h = append(*h, x.(*runCursor[K, V])) }
 func (h *runHeap[K, V]) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-// decodeRunFrame reads one reduce partition's records out of a run file,
-// restoring arrival order (frames are stored key-sorted). A missing or
-// unreadable file means the map output is gone — a fetch failure, exactly as
-// when a resident output disappears.
-func decodeRunFrame[K comparable, V any](tc *taskContext, shuffle, mapPart int, run *shuffleRun, reducePart int) []spillRec[K, V] {
-	if run.lens[reducePart] == 0 && run.elems[reducePart] == 0 {
-		return nil
+// decodeFrameBytes decodes one reduce partition's frame out of a run file's
+// raw bytes: bounds-check the index against the file, inflate if compressed,
+// gob-decode. It returns an error — never panics — on truncated or corrupt
+// input, however mangled; the fuzz target FuzzDecodeFrameBytes pins that.
+func decodeFrameBytes[K comparable, V any](raw []byte, off, length int64, compressed bool) ([]spillRec[K, V], error) {
+	if off < 0 || length < 0 || off > int64(len(raw)) || length > int64(len(raw))-off {
+		return nil, fmt.Errorf("frame [%d:+%d] out of bounds of %d-byte run file", off, length, len(raw))
 	}
-	raw, err := tc.ctx.fs.ReadAll(run.file)
-	if err != nil {
-		tc.emit(&FetchFailure{Job: tc.job, Stage: tc.stage, Round: tc.round, Part: tc.part,
-			Attempt: tc.attempt, Shuffle: shuffle, MapPart: mapPart})
-		panic(&fetchFailedError{shuffle: shuffle, mapPart: mapPart})
-	}
-	seg := raw[run.offs[reducePart] : run.offs[reducePart]+run.lens[reducePart]]
-	var r io.Reader = bytes.NewReader(seg)
-	if run.compressed {
+	var r io.Reader = bytes.NewReader(raw[off : off+length])
+	if compressed {
 		r = flate.NewReader(r)
 	}
 	var recs []spillRec[K, V]
 	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
-		panic(fmt.Sprintf("rdd: decoding spill run %s: %v", run.file, err))
+		return nil, fmt.Errorf("decoding frame [%d:+%d]: %w", off, length, err)
+	}
+	return recs, nil
+}
+
+// decodeRunFrame reads one reduce partition's records out of a run file,
+// restoring arrival order (frames are stored key-sorted). A missing,
+// unreadable, truncated, or corrupt file means the map output is gone — a
+// fetch failure, exactly as when a resident output disappears — rather than
+// a panic: on a real cluster a shuffle file can be half-written by a dying
+// executor, and the recovery answer is recomputation, not a crash.
+func decodeRunFrame[K comparable, V any](tc *taskContext, shuffle, mapPart int, run *shuffleRun, reducePart int) []spillRec[K, V] {
+	if run.lens[reducePart] == 0 && run.elems[reducePart] == 0 {
+		return nil
+	}
+	fail := func() {
+		tc.emit(&FetchFailure{Job: tc.job, Stage: tc.stage, Round: tc.round, Part: tc.part,
+			Attempt: tc.attempt, Shuffle: shuffle, MapPart: mapPart})
+		panic(&fetchFailedError{shuffle: shuffle, mapPart: mapPart})
+	}
+	raw, err := tc.ctx.fs.ReadAll(run.file)
+	if err != nil {
+		fail()
+	}
+	recs, err := decodeFrameBytes[K, V](raw, run.offs[reducePart], run.lens[reducePart], run.compressed)
+	if err != nil {
+		fail()
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].A < recs[j].A })
 	return recs
@@ -348,6 +368,37 @@ func mergeRuns[K comparable, V any](tc *taskContext, shuffle, mapPart int, runs 
 // arrival order, so reduce-side folds see the same pair order the hash
 // shuffle delivered.
 func shuffleBucketSeqs[K comparable, V any](ctx *Context, tc *taskContext, sd *shuffleDep, reducePart, mapParts int) iter.Seq[iter.Seq[KV[K, V]]] {
+	if srcs, ok := sd.takePartials(reducePart, mapParts); ok {
+		// The adaptive skew sub-stage prefetched this partition: the
+		// sub-tasks already charged the transfer. The injection draw below is
+		// keyed identically to the full-fetch path's, so the fault schedule
+		// is unchanged (for this task's attempt the prefetch sub-tasks made —
+		// and survived — the same draw); the existence checks catch outputs
+		// chaos destroyed between prefetch and consumption.
+		ctx.maybeInjectFetchFailure(tc, sd.id, mapParts)
+		for m := 0; m < mapParts; m++ {
+			if !ctx.shuffle.has(sd.id, m) {
+				tc.emit(&FetchFailure{Job: tc.job, Stage: tc.stage, Round: tc.round, Part: tc.part,
+					Attempt: tc.attempt, Shuffle: sd.id, MapPart: m})
+				panic(&fetchFailedError{shuffle: sd.id, mapPart: m})
+			}
+		}
+		return func(yield func(iter.Seq[KV[K, V]]) bool) {
+			for _, src := range srcs {
+				pairs := src.([]KV[K, V])
+				seq := func(y func(KV[K, V]) bool) {
+					for _, kv := range pairs {
+						if !y(kv) {
+							return
+						}
+					}
+				}
+				if !yield(seq) {
+					return
+				}
+			}
+		}
+	}
 	outs := ctx.shuffle.fetch(tc, sd.id, reducePart, mapParts)
 	return func(yield func(iter.Seq[KV[K, V]]) bool) {
 		for m, mo := range outs {

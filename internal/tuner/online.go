@@ -1,0 +1,172 @@
+// The online tuner: the paper's "automatic parameter tuning" future work,
+// closed as a feedback loop instead of the offline grid sweep in tuner.go.
+// An Online controller listens to the live context's scheduler events,
+// maintains an EWMA of per-wave stage time (a proxy for task granularity),
+// and retunes the context's default parallelism between jobs — never during
+// one, so every job still runs a self-consistent plan. cmd/sparkserved wires
+// Retune after each served job (-autotune), making a long-lived server adapt
+// its partitioning to the workload it actually receives.
+
+package tuner
+
+import (
+	"math"
+	"sync"
+
+	"sparkscore/internal/rdd"
+)
+
+// OnlineConfig tunes the online controller. Zero values select the noted
+// defaults.
+type OnlineConfig struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]; larger reacts faster.
+	// Default 0.3.
+	Alpha float64
+
+	// TargetTaskSeconds is the desired per-wave stage time: tasks much
+	// longer than this want more, smaller partitions (better balance,
+	// cheaper stragglers); much shorter tasks drown in per-task overhead and
+	// want fewer. Default 2 simulated seconds, a common Spark
+	// rule-of-thumb task granularity.
+	TargetTaskSeconds float64
+
+	// Band is the dead band: no retune while the EWMA stays within
+	// [target/Band, target×Band]. Must exceed 1; default 1.5.
+	Band float64
+
+	// MinParallelism / MaxParallelism clamp the override. Defaults: half the
+	// cluster's core slots, and 8× the slots.
+	MinParallelism int
+	MaxParallelism int
+
+	// StepFactor caps how far one Retune may move parallelism (multiplied or
+	// divided). Default 2 — the controller converges geometrically instead
+	// of oscillating on one noisy observation.
+	StepFactor float64
+}
+
+func (c OnlineConfig) withDefaults(slots int) OnlineConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.TargetTaskSeconds <= 0 {
+		c.TargetTaskSeconds = 2
+	}
+	if c.Band <= 1 {
+		c.Band = 1.5
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if c.MinParallelism <= 0 {
+		c.MinParallelism = max(1, slots/2)
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = slots * 8
+	}
+	if c.MaxParallelism < c.MinParallelism {
+		c.MaxParallelism = c.MinParallelism
+	}
+	if c.StepFactor <= 1 {
+		c.StepFactor = 2
+	}
+	return c
+}
+
+// Online is the feedback controller. It implements rdd.Listener; register it
+// on the context whose jobs it should observe (NewOnline does this), then
+// call Retune between jobs.
+//
+// Lock ordering: OnEvent runs under the context's bus lock and takes only
+// o.mu; Retune takes o.mu and then the context's own lock (via
+// SetDefaultParallelism). The context never posts bus events while holding
+// its lock, so bus → o.mu → context is acyclic and race-free — the ordering
+// TestOnlineTunerRace pins under concurrent FAIR-pool jobs.
+type Online struct {
+	ctx *rdd.Context
+	cfg OnlineConfig
+
+	mu      sync.Mutex
+	ewma    float64 // EWMA of per-wave stage seconds
+	stages  int     // stages observed
+	retunes int     // retunes applied
+}
+
+// OnlineStats is a snapshot of the controller's state.
+type OnlineStats struct {
+	Stages          int     `json:"stages"`
+	Retunes         int     `json:"retunes"`
+	EWMAWaveSeconds float64 `json:"ewmaWaveSeconds"`
+	Parallelism     int     `json:"parallelism"`
+}
+
+// NewOnline builds the controller over ctx and registers it on the bus.
+func NewOnline(ctx *rdd.Context, cfg OnlineConfig) *Online {
+	o := &Online{ctx: ctx, cfg: cfg.withDefaults(ctx.Cluster().TotalSlots())}
+	ctx.AddListener(o)
+	return o
+}
+
+// OnEvent implements rdd.Listener: fold each successful stage's per-wave
+// time into the EWMA. A stage of N tasks on S slots runs in about ⌈N/S⌉
+// waves, so seconds-per-wave approximates the duration of one task at the
+// current granularity — the quantity the controller steers.
+func (o *Online) OnEvent(ev rdd.Event) {
+	sc, ok := ev.(*rdd.StageCompleted)
+	if !ok || sc.Failed || sc.NumTasks == 0 {
+		return
+	}
+	slots := o.ctx.Cluster().TotalSlots()
+	if slots < 1 {
+		slots = 1
+	}
+	waves := math.Ceil(float64(sc.NumTasks) / float64(slots))
+	perWave := sc.Seconds / waves
+	o.mu.Lock()
+	if o.stages == 0 {
+		o.ewma = perWave
+	} else {
+		o.ewma = o.cfg.Alpha*perWave + (1-o.cfg.Alpha)*o.ewma
+	}
+	o.stages++
+	o.mu.Unlock()
+}
+
+// Retune applies one control step: if the EWMA sits outside the dead band,
+// default parallelism is multiplied by ewma/target (clamped to the step
+// factor and the min/max bounds) so over-long tasks get more partitions and
+// overhead-bound ones fewer. It returns the new parallelism and whether it
+// changed. Call between jobs — running jobs keep the plan they started with.
+func (o *Online) Retune() (int, bool) {
+	cur := o.ctx.DefaultParallelism()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.stages == 0 || o.ewma <= 0 {
+		return cur, false
+	}
+	ratio := o.ewma / o.cfg.TargetTaskSeconds
+	if ratio <= o.cfg.Band && ratio >= 1/o.cfg.Band {
+		return cur, false
+	}
+	step := math.Min(math.Max(ratio, 1/o.cfg.StepFactor), o.cfg.StepFactor)
+	proposed := int(math.Round(float64(cur) * step))
+	proposed = min(max(proposed, o.cfg.MinParallelism), o.cfg.MaxParallelism)
+	if proposed == cur {
+		return cur, false
+	}
+	o.ctx.SetDefaultParallelism(proposed)
+	o.retunes++
+	return proposed, true
+}
+
+// Stats snapshots the controller.
+func (o *Online) Stats() OnlineStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return OnlineStats{
+		Stages:          o.stages,
+		Retunes:         o.retunes,
+		EWMAWaveSeconds: o.ewma,
+		Parallelism:     o.ctx.DefaultParallelism(),
+	}
+}

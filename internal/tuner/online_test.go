@@ -1,0 +1,215 @@
+// Tests for the online controller: the control law (EWMA, dead band, step
+// clamping) against synthetic stage events, and the lock-ordering race test
+// pinning that Retune may run while FAIR-pool jobs are live on the observed
+// context (bus lock -> o.mu -> context lock is acyclic; `go test -race` runs
+// this).
+
+package tuner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/rdd"
+)
+
+func onlineTestContext(t *testing.T, cfg rdd.Config) *rdd.Context {
+	t.Helper()
+	if cfg.Cluster.Nodes == 0 {
+		cfg.Cluster = cluster.Config{
+			Nodes:             2,
+			Spec:              cluster.NodeSpec{Name: "tune", VCPUs: 8, MemGiB: 8},
+			ExecutorsPerNode:  2,
+			CoresPerExecutor:  4,
+			MemPerExecutorGiB: 2,
+		}
+	}
+	c, err := rdd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// feed folds synthetic successful stages into the controller: n tasks taking
+// secs of stage time each, repeated enough for the EWMA to converge there.
+func feed(o *Online, n int, secs float64) {
+	for i := 0; i < 20; i++ {
+		o.OnEvent(&rdd.StageCompleted{NumTasks: n, Seconds: secs})
+	}
+}
+
+func TestOnlineRetuneRaisesParallelismForLongTasks(t *testing.T) {
+	c := onlineTestContext(t, rdd.Config{Seed: 1})
+	o := NewOnline(c, OnlineConfig{TargetTaskSeconds: 2})
+	slots := c.Cluster().TotalSlots()
+	before := c.DefaultParallelism()
+
+	// One wave of tasks at 10s per wave: 5x the target, outside the band.
+	feed(o, slots, 10)
+	got, changed := o.Retune()
+	if !changed {
+		t.Fatalf("Retune() did not move parallelism off %d for 5x-target tasks", before)
+	}
+	if got != 2*before {
+		t.Errorf("parallelism = %d, want %d (step factor caps one move at 2x)", got, 2*before)
+	}
+	if c.DefaultParallelism() != got {
+		t.Errorf("context parallelism = %d, Retune reported %d", c.DefaultParallelism(), got)
+	}
+	st := o.Stats()
+	if st.Stages != 20 || st.Retunes != 1 || st.Parallelism != got {
+		t.Errorf("Stats() = %+v, want 20 stages, 1 retune, parallelism %d", st, got)
+	}
+}
+
+func TestOnlineRetuneLowersParallelismForTinyTasks(t *testing.T) {
+	c := onlineTestContext(t, rdd.Config{Seed: 1})
+	o := NewOnline(c, OnlineConfig{TargetTaskSeconds: 2})
+	before := c.DefaultParallelism()
+
+	// Overhead-bound waves: 1/10 of the target.
+	feed(o, c.Cluster().TotalSlots(), 0.2)
+	got, changed := o.Retune()
+	if !changed || got >= before {
+		t.Fatalf("Retune() = (%d, %v) for overhead-bound tasks, want a drop below %d", got, changed, before)
+	}
+	if got != before/2 {
+		t.Errorf("parallelism = %d, want %d (step factor caps one move at /2)", got, before/2)
+	}
+}
+
+func TestOnlineRetuneDeadBandAndClamps(t *testing.T) {
+	c := onlineTestContext(t, rdd.Config{Seed: 1})
+	o := NewOnline(c, OnlineConfig{TargetTaskSeconds: 2, MinParallelism: 8, MaxParallelism: 32})
+
+	if got, changed := o.Retune(); changed {
+		t.Errorf("Retune() with no observations changed parallelism to %d", got)
+	}
+	feed(o, c.Cluster().TotalSlots(), 2.5) // within the 1.5x dead band
+	if got, changed := o.Retune(); changed {
+		t.Errorf("Retune() inside the dead band changed parallelism to %d", got)
+	}
+	// Drive it to the ceiling: repeated retunes must stop at MaxParallelism.
+	for i := 0; i < 10; i++ {
+		feed(o, c.Cluster().TotalSlots(), 50)
+		o.Retune()
+	}
+	if got := c.DefaultParallelism(); got != 32 {
+		t.Errorf("parallelism = %d after repeated upward retunes, want the 32 ceiling", got)
+	}
+	// And to the floor.
+	for i := 0; i < 10; i++ {
+		feed(o, c.Cluster().TotalSlots(), 0.01)
+		o.Retune()
+	}
+	if got := c.DefaultParallelism(); got != 8 {
+		t.Errorf("parallelism = %d after repeated downward retunes, want the 8 floor", got)
+	}
+}
+
+func TestOnlineIgnoresFailedAndEmptyStages(t *testing.T) {
+	c := onlineTestContext(t, rdd.Config{Seed: 1})
+	o := NewOnline(c, OnlineConfig{})
+	o.OnEvent(&rdd.StageCompleted{NumTasks: 4, Seconds: 100, Failed: true})
+	o.OnEvent(&rdd.StageCompleted{NumTasks: 0, Seconds: 100})
+	o.OnEvent(&rdd.TaskEnd{})
+	if st := o.Stats(); st.Stages != 0 {
+		t.Errorf("Stats().Stages = %d after only failed/empty stages, want 0", st.Stages)
+	}
+	if _, changed := o.Retune(); changed {
+		t.Error("Retune() acted on failed/empty stage observations")
+	}
+}
+
+// TestOnlineTunerRace is the lock-ordering stress test: Retune/Stats hammer
+// the controller from one goroutine while FAIR-pool jobs run on the observed
+// context from several others, so OnEvent (under the context's bus lock)
+// races Retune (o.mu then the context lock). An ordering cycle would deadlock
+// here; a missed lock is a -race report.
+func TestOnlineTunerRace(t *testing.T) {
+	c := onlineTestContext(t, rdd.Config{
+		Seed:    17,
+		Workers: 16,
+		Scheduler: rdd.SchedulerConfig{
+			Mode:  rdd.SchedFAIR,
+			Pools: []rdd.PoolSpec{{Name: "a", Weight: 2, MinShare: 4}, {Name: "b", Weight: 1}},
+		},
+	})
+	o := NewOnline(c, OnlineConfig{TargetTaskSeconds: 1e-6}) // everything is out of band: retune every chance
+	const workers, iters = 4, 5
+
+	stop := make(chan struct{})
+	var tunerWG sync.WaitGroup
+	tunerWG.Add(1)
+	go func() {
+		defer tunerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			o.Retune()
+			o.Stats()
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := "a"
+			if w%2 == 1 {
+				pool = "b"
+			}
+			for i := 0; i < iters; i++ {
+				parts := c.DefaultParallelism()
+				pairs := rdd.Map(rdd.Parallelize(c, seqInts(400), parts), fmt.Sprintf("ot%d-%d", w, i),
+					func(x int) rdd.KV[int, int] { return rdd.KV[int, int]{K: x % 8, V: x} })
+				errs <- c.RunInPool(pool, func() error {
+					out, err := rdd.Collect(rdd.ReduceByKey(pairs, func(a, b int) int { return a + b }, parts))
+					if err != nil {
+						return err
+					}
+					total := 0
+					for _, kv := range out {
+						total += kv.V
+					}
+					if want := 400 * 399 / 2; total != want {
+						return fmt.Errorf("worker %d iter %d: sum = %d, want %d", w, i, total, want)
+					}
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	tunerWG.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := o.Stats()
+	if st.Stages == 0 {
+		t.Error("controller observed no stages from the live context")
+	}
+	cfg := OnlineConfig{TargetTaskSeconds: 1e-6}.withDefaults(c.Cluster().TotalSlots())
+	if st.Parallelism < cfg.MinParallelism || st.Parallelism > cfg.MaxParallelism {
+		t.Errorf("parallelism %d escaped the [%d, %d] clamp", st.Parallelism, cfg.MinParallelism, cfg.MaxParallelism)
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
