@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke adaptive-smoke fuzz-smoke cover trace experiments
+.PHONY: tier1 fmt vet build test race bench bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke adaptive-smoke eqtl-smoke fuzz-smoke cover trace experiments
 
 # tier1 is the CI gate: formatting, vet, build, the full test suite under the
 # race detector (the recovery layer is concurrent by construction), a smoke
@@ -10,9 +10,10 @@ GO ?= go
 # straggler-mitigation claim, the columnar engine's byte-parity and
 # >= 4x packed-storage claims, and the sort shuffle's spill-and-match claim
 # under a memory cap the hash shuffle cannot survive, the adaptive planner's
-# bitwise parity and skew-mitigation claims, and the per-package coverage
-# floors in coverage_baseline.txt.
-tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke adaptive-smoke cover
+# bitwise parity and skew-mitigation claims, the all-pairs eQTL engine's
+# wide-kernel parity and >= 2x pair-throughput claims, and the per-package
+# coverage floors in coverage_baseline.txt.
+tier1: fmt vet build race bench-smoke eventlog-smoke server-smoke speculation-smoke columnar-smoke spill-smoke adaptive-smoke eqtl-smoke cover
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -112,12 +113,34 @@ adaptive-smoke:
 	$(GO) run ./cmd/benchtab -exp adaptive -json
 	@echo "adaptive-smoke: adaptive and static reports identical"
 
+# eqtl-smoke runs the all-pairs eQTL engine four ways over the same generated
+# input — wide multi-phenotype kernel, per-phenotype loop, cartesian block
+# join, and the wide kernel again under injected chaos — and diffs the four
+# reports byte for byte, then runs the eqtl experiment (which itself asserts
+# parity at two shapes, chaos recovery with byte-stable stripped replay logs,
+# and the >= 2x wide-kernel pair throughput) and refreshes BENCH_eqtl.json.
+eqtl-smoke:
+	$(GO) run ./cmd/sparkscore -eqtl -generate -patients 80 -snps 400 -sets 8 \
+		-eqtl-phenos 12 -out $${TMPDIR:-/tmp}/sparkscore-eqtl-wide.tsv > /dev/null
+	$(GO) run ./cmd/sparkscore -eqtl -generate -patients 80 -snps 400 -sets 8 \
+		-eqtl-phenos 12 -eqtl-wide=false -out $${TMPDIR:-/tmp}/sparkscore-eqtl-loop.tsv > /dev/null
+	$(GO) run ./cmd/sparkscore -eqtl -generate -patients 80 -snps 400 -sets 8 \
+		-eqtl-phenos 12 -eqtl-strategy cartesian -out $${TMPDIR:-/tmp}/sparkscore-eqtl-cart.tsv > /dev/null
+	$(GO) run ./cmd/sparkscore -eqtl -generate -patients 80 -snps 400 -sets 8 \
+		-eqtl-phenos 12 -chaos -out $${TMPDIR:-/tmp}/sparkscore-eqtl-chaos.tsv > /dev/null
+	cmp $${TMPDIR:-/tmp}/sparkscore-eqtl-wide.tsv $${TMPDIR:-/tmp}/sparkscore-eqtl-loop.tsv
+	cmp $${TMPDIR:-/tmp}/sparkscore-eqtl-wide.tsv $${TMPDIR:-/tmp}/sparkscore-eqtl-cart.tsv
+	cmp $${TMPDIR:-/tmp}/sparkscore-eqtl-wide.tsv $${TMPDIR:-/tmp}/sparkscore-eqtl-chaos.tsv
+	$(GO) run ./cmd/benchtab -exp eqtl -json
+	@echo "eqtl-smoke: wide, loop, cartesian, and chaos reports identical"
+
 # fuzz-smoke gives each native fuzz target a 10s budget on top of its checked-in
-# seed corpus (testdata/fuzz). The targets assert the GenoBlock text codec
-# round-trips whatever it accepts and the spill-frame reader returns errors
-# instead of panicking on arbitrary bytes.
+# seed corpus (testdata/fuzz). The targets assert the GenoBlock and
+# phenotype-matrix text codecs round-trip whatever they accept and the
+# spill-frame reader returns errors instead of panicking on arbitrary bytes.
 fuzz-smoke:
 	$(GO) test ./internal/data -run='^$$' -fuzz=FuzzGenoBlockTextRoundTrip -fuzztime=10s
+	$(GO) test ./internal/data -run='^$$' -fuzz=FuzzPhenoMatrixRoundTrip -fuzztime=10s
 	$(GO) test ./internal/rdd -run='^$$' -fuzz=FuzzDecodeFrameBytes -fuzztime=10s
 
 # cover enforces the per-package statement-coverage floors recorded in

@@ -10,6 +10,17 @@
 // or are generated in-process:
 //
 //	sparkscore -generate -patients 1000 -snps 10000 -sets 100 -method perm -iterations 16
+//
+// With -eqtl it instead runs the all-pairs association engine: -eqtl-phenos
+// generated expression phenotypes crossed with every SNP, reduced to a
+// streaming top-K plus a histogram-sketch Benjamini–Hochberg FDR summary. The
+// -out report is deterministic (assoc.WriteReport), so two runs — wide or
+// per-phenotype loop, broadcast or cartesian, with or without -chaos — can be
+// compared byte for byte:
+//
+//	sparkscore -generate -eqtl -eqtl-phenos 32 -out wide.tsv
+//	sparkscore -generate -eqtl -eqtl-phenos 32 -eqtl-wide=false -chaos -out loop.tsv
+//	cmp wide.tsv loop.tsv
 package main
 
 import (
@@ -19,11 +30,13 @@ import (
 	"path/filepath"
 	"sort"
 
+	"sparkscore/internal/assoc"
 	"sparkscore/internal/cluster"
 	"sparkscore/internal/core"
 	"sparkscore/internal/data"
 	"sparkscore/internal/gen"
 	"sparkscore/internal/rdd"
+	"sparkscore/internal/rng"
 	"sparkscore/internal/stats"
 )
 
@@ -41,6 +54,7 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "disable caching of the score-contribution RDD")
 		columnar   = flag.Bool("columnar", true, "use the 2-bit packed columnar genotype engine (false: boxed per-row pipeline)")
 		adaptive   = flag.Bool("adaptive", false, "enable adaptive stage execution (coalesce small reduce partitions, split skewed ones from observed map-output sizes); results are bitwise identical either way")
+		chaos      = flag.Bool("chaos", false, "inject task crashes, fetch failures, and stragglers; results are bitwise unchanged")
 		setStat    = flag.String("set-stat", "skat", `SNP-set statistic: "skat" or "burden"`)
 		betaWts    = flag.Bool("beta-weights", false, "replace input weights with Beta(MAF;1,25) weights (Wu et al. 2011)")
 		seed       = flag.Uint64("seed", 1, "seed for data generation and resampling")
@@ -56,6 +70,12 @@ func main() {
 		marginal = flag.Bool("marginal", false, "also run the per-SNP asymptotic analysis")
 		setAsym  = flag.Bool("asymptotic", false, "also run the per-set asymptotic (Liu) analysis")
 		out      = flag.String("out", "", "write the per-set result table (TSV) to this file")
+
+		eqtlMode     = flag.Bool("eqtl", false, "run the all-pairs eQTL engine instead of the SKAT pipeline")
+		eqtlPhenos   = flag.Int("eqtl-phenos", 32, "expression phenotypes to generate for -eqtl")
+		eqtlTop      = flag.Int("eqtl-top", 100, "most-significant pairs to keep for -eqtl")
+		eqtlStrategy = flag.String("eqtl-strategy", "auto", `join strategy for -eqtl: "auto", "broadcast", or "cartesian"`)
+		eqtlWide     = flag.Bool("eqtl-wide", true, "use the wide multi-phenotype kernel (false: per-phenotype loop; results are bitwise identical)")
 
 		eventsOut = flag.String("events", "", "write a JSONL event log to this file (render it with sparkui)")
 		traceOut  = flag.String("trace", "", "write a Chrome-trace timeline to this file (open in chrome://tracing)")
@@ -99,12 +119,17 @@ func main() {
 	if *hashShuf {
 		shuffle = rdd.ShuffleHash
 	}
+	var faults rdd.FaultProfile
+	if *chaos {
+		faults = rdd.FaultProfile{TaskCrashProb: 0.05, FetchFailureProb: 0.05, StragglerProb: 0.05}
+	}
 	ctx, err := rdd.New(rdd.Config{
 		Cluster: cluster.Config{
 			Nodes: *nodes, Spec: cluster.M3TwoXLarge,
 			ExecutorsPerNode: *execs, CoresPerExecutor: *cores, MemPerExecutorGiB: memGiB,
 		},
 		Seed:        *seed,
+		Faults:      faults,
 		SortShuffle: shuffle,
 		Workers:     *workers,
 		Adaptive:    rdd.AdaptiveConfig{Enabled: *adaptive},
@@ -112,6 +137,17 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *eqtlMode {
+		err := runEQTL(ctx, ds, eqtlOptions{
+			phenos: *eqtlPhenos, topK: *eqtlTop, strategy: *eqtlStrategy,
+			wide: *eqtlWide, seed: *seed, top: *top, out: *out,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		finishRun(ctx, eventLog, eventFile, timeline, *eventsOut, *traceOut)
+		return
 	}
 	paths, err := core.StageDataset(ctx, ds, "input")
 	if err != nil {
@@ -168,6 +204,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	finishRun(ctx, eventLog, eventFile, timeline, *eventsOut, *traceOut)
+}
+
+// finishRun prints the simulated-cluster accounting and flushes the optional
+// event log and Chrome trace — the shared tail of every sparkscore mode.
+func finishRun(ctx *rdd.Context, eventLog *rdd.EventLogWriter, eventFile *os.File, timeline *rdd.TimelineListener, eventsOut, traceOut string) {
 	fmt.Printf("\nsimulated cluster time: %.1f s over %d jobs\n", ctx.VirtualTime(), len(ctx.Jobs()))
 	var spilledBytes int64
 	var spillCount int
@@ -186,10 +228,10 @@ func main() {
 		if err := eventFile.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote event log %s (render with: sparkui -log %s)\n", *eventsOut, *eventsOut)
+		fmt.Printf("wrote event log %s (render with: sparkui -log %s)\n", eventsOut, eventsOut)
 	}
 	if timeline != nil {
-		f, err := os.Create(*traceOut)
+		f, err := os.Create(traceOut)
 		if err != nil {
 			fatal(err)
 		}
@@ -200,8 +242,70 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote timeline %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+		fmt.Printf("wrote timeline %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
 	}
+}
+
+type eqtlOptions struct {
+	phenos   int
+	topK     int
+	strategy string
+	wide     bool
+	seed     uint64
+	top      int
+	out      string
+}
+
+// runEQTL stages the genotypes beside a generated expression matrix, runs the
+// all-pairs cross, prints the most significant pairs, and writes the
+// deterministic report when -out is set.
+func runEQTL(ctx *rdd.Context, ds *data.Dataset, o eqtlOptions) error {
+	expr := gen.ExpressionMatrix(gen.Config{Patients: ds.Phenotype.Patients()}, rng.New(o.seed), o.phenos)
+	paths, err := assoc.Stage(ctx, ds.Genotypes, expr, "eqtl")
+	if err != nil {
+		return err
+	}
+	cfg := assoc.Config{TopK: o.topK, Strategy: o.strategy}.WithWide(o.wide)
+	a, err := assoc.NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, cfg)
+	if err != nil {
+		return err
+	}
+	kernel := "wide"
+	if !o.wide {
+		kernel = "loop"
+	}
+	fmt.Printf("all-pairs: %d SNPs × %d phenotypes (%s strategy, %s kernel)\n",
+		ds.Genotypes.SNPs(), a.Phenos(), a.Strategy(), kernel)
+	res, err := a.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d pair tests; BH FDR at α=%g: threshold %.4g, %d discoveries\n",
+		res.Tested, res.FDR.Alpha, res.FDR.Threshold, res.FDR.Discoveries)
+	top := o.top
+	if top > len(res.TopK) {
+		top = len(res.TopK)
+	}
+	fmt.Printf("top %d pairs:\n", top)
+	fmt.Printf("%-8s %-8s %12s %12s %10s\n", "snp", "pheno", "score", "variance", "p-value")
+	for _, p := range res.TopK[:top] {
+		fmt.Printf("%-8d %-8d %12.4f %12.4f %10.4g\n", p.SNP, p.Pheno, p.Score, p.Variance, p.PValue)
+	}
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		if err := assoc.WriteReport(f, res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", o.out)
+	}
+	return nil
 }
 
 func loadDataset(dir string, generate bool, patients, snps, sets int, seed uint64) (*data.Dataset, error) {

@@ -11,6 +11,12 @@
 //	curl -s localhost:8080/v1/skat -d '{"top":5,"pool":"interactive"}'
 //	curl -s localhost:8080/v1/resample -d '{"method":"replicate","replicate":7,"pool":"batch"}'
 //
+// With -eqtl-phenos N the server also generates N expression phenotypes over
+// the cohort and exposes the all-pairs association engine on /v1/eqtl; pages
+// of the streamed top-K come back via page/page_size:
+//
+//	curl -s localhost:8080/v1/eqtl -d '{"page":0,"page_size":25,"pool":"batch"}'
+//
 // Every job endpoint accepts timeout_ms, a server-side deadline on the whole
 // request; past it (or on client disconnect) the running job is cancelled at
 // its next task boundary, the pool slot is freed, and the request is
@@ -28,6 +34,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -39,11 +46,13 @@ import (
 	"syscall"
 	"time"
 
+	"sparkscore/internal/assoc"
 	"sparkscore/internal/cluster"
 	"sparkscore/internal/core"
 	"sparkscore/internal/data"
 	"sparkscore/internal/gen"
 	"sparkscore/internal/rdd"
+	"sparkscore/internal/rng"
 	"sparkscore/internal/server"
 	"sparkscore/internal/tuner"
 )
@@ -58,6 +67,9 @@ func main() {
 		patients = flag.Int("patients", 1000, "patients for -generate")
 		snps     = flag.Int("snps", 10000, "SNPs for -generate")
 		sets     = flag.Int("sets", 100, "SNP-sets for -generate")
+
+		eqtlPhenos = flag.Int("eqtl-phenos", 0, "expression phenotypes to generate for the all-pairs /v1/eqtl endpoint (0 disables it)")
+		eqtlTop    = flag.Int("eqtl-top", 100, "most-significant pairs the eQTL engine keeps")
 
 		family  = flag.String("family", "cox", `score family: "cox", "gaussian", or "binomial"`)
 		setStat = flag.String("set-stat", "skat", `SNP-set statistic: "skat" or "burden"`)
@@ -129,6 +141,25 @@ func main() {
 	}
 	var online *tuner.Online
 	scfg := server.Config{Context: ctx, Analysis: analysis, Pools: poolCfgs}
+	if *eqtlPhenos > 0 {
+		// The expression matrix stages beside the dataset; the eQTL engine
+		// re-reads the already-staged genotypes, so the two endpoints share one
+		// copy of the large side.
+		expr := gen.ExpressionMatrix(gen.Config{Patients: analysis.Patients()}, rng.New(*seed), *eqtlPhenos)
+		var buf bytes.Buffer
+		if err := data.WritePhenoMatrix(&buf, expr); err != nil {
+			fatal(err)
+		}
+		const phenoMatrixPath = "input/phenomatrix.txt"
+		if _, err := ctx.FS().Write(phenoMatrixPath, buf.Bytes()); err != nil {
+			fatal(err)
+		}
+		eq, err := assoc.NewAnalysis(ctx, paths.Genotypes, phenoMatrixPath, assoc.Config{TopK: *eqtlTop})
+		if err != nil {
+			fatal(err)
+		}
+		scfg.EQTL = eq
+	}
 	if *autotune {
 		online = tuner.NewOnline(ctx, tuner.OnlineConfig{})
 		scfg.Tuner = online
@@ -145,6 +176,10 @@ func main() {
 		analysis.Patients(), ds.Genotypes.SNPs(), len(analysis.Sets()),
 		schedMode, len(poolCfgs), *addr)
 	fmt.Printf("  try: curl -s %s/v1/skat -d '{\"top\":5}'\n", "http://"+*addr)
+	if scfg.EQTL != nil {
+		fmt.Printf("  eqtl: %d phenotypes × %d SNPs all-pairs on /v1/eqtl (%s strategy)\n",
+			scfg.EQTL.Phenos(), ds.Genotypes.SNPs(), scfg.EQTL.Strategy())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -3,8 +3,13 @@
 // the way Spark's History Server rebuilds its UI from spark.eventLog files.
 //
 //	sparkscore -generate -iterations 200 -events run.jsonl
-//	sparkui -log run.jsonl            # jobs, stages, recovery events
-//	sparkui -log run.jsonl -tasks     # plus every task attempt
+//	sparkui -log run.jsonl                    # jobs, stages, recovery events
+//	sparkui -log run.jsonl -tasks             # plus the task-attempt table
+//	sparkui -log run.jsonl -tasks -task-limit 0   # ... uncapped
+//
+// Large runs produce hundreds of thousands of task attempts; -task-limit caps
+// the task table (default 500 rows) and a footer reports how many rows were
+// elided. 0 means unlimited.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 func main() {
 	logPath := flag.String("log", "", "JSONL event log (sparkscore -events, benchtab -events, or rdd.EventLogWriter)")
 	tasks := flag.Bool("tasks", false, "also print the per-task-attempt table")
+	taskLimit := flag.Int("task-limit", 500, "cap the task table at this many rows, noting how many were elided (0 = unlimited)")
 	flag.Parse()
 	if *logPath == "" && flag.NArg() == 1 {
 		*logPath = flag.Arg(0)
@@ -36,8 +42,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *taskLimit < 0 {
+		fmt.Fprintln(os.Stderr, "sparkui: -task-limit must be >= 0")
+		os.Exit(2)
+	}
 	ui := build(events)
-	ui.render(os.Stdout, *tasks)
+	ui.render(os.Stdout, *tasks, *taskLimit)
 }
 
 func fatal(err error) {
@@ -208,7 +218,7 @@ func stageLabel(id uint64) string {
 	return fmt.Sprintf("map(shuffle %d)", id)
 }
 
-func (m *model) render(w *os.File, withTasks bool) {
+func (m *model) render(w *os.File, withTasks bool, taskLimit int) {
 	fmt.Fprintf(w, "event log: %d events, %d jobs, %d recovery events\n\n", m.events, len(m.jobs), len(m.recovery))
 
 	jt := metrics.NewTable("jobs", "job", "action", "pool", "stages", "tasks", "retries", "stage-reattempts", "evictions", "spec-copies", "killed", "sim-s", "status")
@@ -256,9 +266,15 @@ func (m *model) render(w *os.File, withTasks bool) {
 	if withTasks {
 		fmt.Fprintln(w)
 		tt := metrics.NewTable("task attempts", "job", "stage", "round", "part", "attempt", "kind", "executor", "start-s", "dur-s", "spills", "spilled-B", "status")
+		shown, total := 0, 0
 		for _, j := range m.jobs {
 			for _, s := range j.stages {
 				for _, t := range s.attempts {
+					total++
+					if taskLimit > 0 && shown >= taskLimit {
+						continue
+					}
+					shown++
 					kind := "orig"
 					if t.Speculative {
 						kind = "spec"
@@ -281,6 +297,10 @@ func (m *model) render(w *os.File, withTasks bool) {
 			}
 		}
 		tt.Fprint(w)
+		if elided := total - shown; elided > 0 {
+			fmt.Fprintf(w, "(%d of %d task attempts shown; %d elided — raise -task-limit or pass -task-limit 0)\n",
+				shown, total, elided)
+		}
 	}
 }
 

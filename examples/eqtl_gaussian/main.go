@@ -1,23 +1,30 @@
-// Expression quantitative trait loci (eQTL) analysis with the Gaussian score
-// family — the extension the paper's conclusion points to ("can be readily
-// extended to analysis of DNA and RNA sequencing data, including eQTL ...").
+// All-pairs expression quantitative trait loci (eQTL) analysis — the
+// extension the paper's conclusion points to ("can be readily extended to
+// analysis of DNA and RNA sequencing data, including eQTL ...").
 //
-// The phenotype is a quantitative gene-expression level; one SNP-set is
-// planted with an additive effect. The example contrasts the asymptotic
-// chi-squared p-values with the Monte Carlo resampling p-values per SNP-set,
-// showing they agree at this sample size while the resampling route makes no
-// large-sample assumption.
+// Every SNP is tested against every expression phenotype through the
+// internal/assoc engine: the genotype matrix streams through 2-bit packed
+// blocks, the phenotype matrix rides along (broadcast here — it is tiny),
+// and each block partition scores all phenotypes in one pass with the wide
+// multi-phenotype kernel, reducing to a streaming top-K plus a
+// histogram-sketch Benjamini–Hochberg FDR summary.
+//
+// Three cis-like signals are planted — three (SNP, phenotype) pairs where
+// the expression level shifts additively with the minor-allele dosage — and
+// the example shows them surfacing at the head of the top-K out of 48,000
+// tests, then re-runs the cross with the per-phenotype loop kernel and
+// checks the two reports agree byte for byte.
 //
 //	go run ./examples/eqtl_gaussian
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
-	"sort"
 
+	"sparkscore/internal/assoc"
 	"sparkscore/internal/cluster"
-	"sparkscore/internal/core"
 	"sparkscore/internal/data"
 	"sparkscore/internal/gen"
 	"sparkscore/internal/rdd"
@@ -25,20 +32,33 @@ import (
 )
 
 const (
-	patients  = 300
-	snps      = 1200
-	sets      = 40
-	causalSet = 9
-	effect    = 0.4 // expression shift per minor allele at causal SNPs
-	b         = 800
+	patients = 400
+	snps     = 2000
+	phenos   = 24
+	effect   = 0.7 // expression shift per minor allele at a planted pair
+	topK     = 10
+
+	// histBins is the FDR sketch width. At 48,000 tests a bin edge u must
+	// clear u <= alpha*C/48000 to become the BH threshold, so the first bin
+	// needs to sit near 1e-6 — a 2^20-wide sketch — for the handful of
+	// planted pairs to register as discoveries.
+	histBins = 1 << 20
 )
 
+// planted are the causal (SNP, phenotype) pairs the engine should recover.
+var planted = []struct{ snp, pheno int }{
+	{snp: 42, pheno: 3},
+	{snp: 777, pheno: 11},
+	{snp: 1502, pheno: 20},
+}
+
 func main() {
-	ds, err := gen.Generate(gen.Config{Patients: patients, SNPs: snps, SNPSets: sets}, 21)
+	ds, err := gen.Generate(gen.Config{Patients: patients, SNPs: snps, SNPSets: 4}, 21)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plantExpressionSignal(ds, causalSet)
+	expr := gen.ExpressionMatrix(gen.Config{Patients: patients}, rng.New(77), phenos)
+	plantSignals(ds.Genotypes, expr)
 
 	ctx, err := rdd.New(rdd.Config{
 		Cluster: cluster.Config{Nodes: 4, Spec: cluster.M3TwoXLarge},
@@ -47,76 +67,85 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	paths, err := core.StageDataset(ctx, ds, "eqtl")
+	paths, err := assoc.Stage(ctx, ds.Genotypes, expr, "eqtl")
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := core.NewAnalysis(ctx, paths, core.Options{Family: "gaussian", Seed: 13})
+	cfg := assoc.Config{TopK: topK, HistBins: histBins}
+	analysis, err := assoc.NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	res, err := analysis.MonteCarlo(b)
-	if err != nil {
-		log.Fatal(err)
-	}
-	marginal, err := analysis.MarginalAsymptotic()
+	res, err := analysis.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("eQTL analysis (gaussian score): %d samples, %d SNPs, %d sets\n", patients, snps, sets)
-	fmt.Printf("planted effect: set%d, +%.1f expression units per allele\n\n", causalSet, effect)
-
-	order := make([]int, len(res.PValues))
-	for k := range order {
-		order[k] = k
+	fmt.Printf("all-pairs eQTL (gaussian score): %d samples, %d SNPs x %d phenotypes = %d tests (%s strategy)\n",
+		patients, snps, phenos, res.Tested, res.Strategy)
+	fmt.Printf("planted pairs: ")
+	for i, p := range planted {
+		if i > 0 {
+			fmt.Printf(", ")
+		}
+		fmt.Printf("snp%d->pheno%d", p.snp, p.pheno)
 	}
-	sort.Slice(order, func(a, b int) bool { return res.PValues[order[a]] < res.PValues[order[b]] })
-	fmt.Printf("top SNP-sets by Monte Carlo p-value (B=%d):\n", b)
-	fmt.Printf("%-8s %14s %12s\n", "snp-set", "observed-skat", "mc-p")
-	for _, k := range order[:5] {
+	fmt.Printf(" (+%.1f expression units per allele)\n\n", effect)
+
+	isPlanted := map[[2]int32]bool{}
+	for _, p := range planted {
+		isPlanted[[2]int32{int32(p.snp), int32(p.pheno)}] = true
+	}
+	fmt.Printf("top %d pairs by p-value:\n", topK)
+	fmt.Printf("%-8s %-8s %12s %12s\n", "snp", "pheno", "chi2-p", "")
+	recovered := 0
+	for _, p := range res.TopK {
 		marker := ""
-		if k == causalSet {
-			marker = "  <== planted"
+		if isPlanted[[2]int32{p.SNP, p.Pheno}] {
+			marker = "<== planted"
+			recovered++
 		}
-		fmt.Printf("%-8s %14.2f %12.4f%s\n", res.Sets[k].Name, res.Observed[k], res.PValues[k], marker)
+		fmt.Printf("%-8d %-8d %12.3g %12s\n", p.SNP, p.Pheno, p.PValue, marker)
 	}
+	fmt.Printf("\nBH-FDR at alpha %.2f (sketch width %d): threshold %.3g, %d discoveries\n",
+		res.FDR.Alpha, res.FDR.Bins, res.FDR.Threshold, res.FDR.Discoveries)
+	fmt.Printf("%d of %d planted pairs recovered; simulated cluster time %.1f s\n",
+		recovered, len(planted), ctx.VirtualTime())
 
-	// Per-SNP view: the most significant individual SNPs by asymptotic test,
-	// flagged when they fall inside the causal set.
-	inCausal := map[int]bool{}
-	for _, j := range ds.SNPSets[causalSet].SNPs {
-		inCausal[j] = true
+	// The ablation the engine is pinned against: the same cross with the
+	// per-phenotype loop kernel must produce a byte-identical report.
+	var wideReport, loopReport bytes.Buffer
+	if err := assoc.WriteReport(&wideReport, res); err != nil {
+		log.Fatal(err)
 	}
-	sort.Slice(marginal, func(i, j int) bool { return marginal[i].PValue < marginal[j].PValue })
-	fmt.Printf("\ntop SNPs by asymptotic score test:\n")
-	fmt.Printf("%-8s %12s %12s\n", "snp", "chi2-p", "in causal set?")
-	hits := 0
-	for _, m := range marginal[:8] {
-		mark := ""
-		if inCausal[m.SNP] {
-			mark = "yes"
-			hits++
-		}
-		fmt.Printf("%-8d %12.3g %12s\n", m.SNP, m.PValue, mark)
+	loopAnalysis, err := assoc.NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, cfg.WithWide(false))
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\n%d of the top 8 SNPs lie in the planted set; simulated cluster time %.1f s\n",
-		hits, ctx.VirtualTime())
+	loopRes, err := loopAnalysis.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := assoc.WriteReport(&loopReport, loopRes); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(wideReport.Bytes(), loopReport.Bytes()) {
+		log.Fatal("wide kernel and per-phenotype loop reports diverged")
+	}
+	fmt.Printf("wide kernel vs per-phenotype loop: reports byte-identical (%d bytes)\n", wideReport.Len())
 }
 
-// plantExpressionSignal rebuilds the phenotype as a standard-normal
-// expression level plus an additive genotype effect at the causal set.
-func plantExpressionSignal(ds *data.Dataset, causal int) {
-	r := rng.New(77)
-	for i := range ds.Phenotype.Y {
-		ds.Phenotype.Y[i] = r.Normal()
-		ds.Phenotype.Event[i] = 1 // unused by the gaussian family
-	}
-	for _, j := range ds.SNPSets[causal].SNPs {
-		row := ds.Genotypes.Row(j)
-		for i, g := range row {
-			ds.Phenotype.Y[i] += effect * float64(g)
+// plantSignals adds an additive genotype effect to each planted phenotype:
+// expression = N(0,1) background (from gen.ExpressionMatrix) + effect x
+// dosage at the causal SNP. Missing genotypes contribute nothing, matching
+// the scoring rule.
+func plantSignals(geno *data.GenotypeMatrix, expr *data.PhenoMatrix) {
+	for _, p := range planted {
+		row := expr.Row(p.pheno)
+		for i, g := range geno.Row(p.snp) {
+			if g > 0 {
+				row[i] += effect * float64(g)
+			}
 		}
 	}
 }

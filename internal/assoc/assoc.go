@@ -1,0 +1,393 @@
+// Package assoc implements the all-pairs eQTL/PheWAS association engine: N
+// SNP-block partitions crossed with M expression phenotypes, every (SNP,
+// phenotype) pair scored with the paper's marginal score statistic, and the
+// result reduced to a streaming top-K plus a histogram-sketch
+// Benjamini–Hochberg FDR summary — billions of tests, bounded driver state.
+//
+// The cross runs in one of two strategies, picked by whichever side is
+// smaller:
+//
+//   - broadcast: the phenotype matrix is broadcast whole and each genotype
+//     partition scores all phenotypes in one pass — the eQTL norm, where
+//     thousands of phenotypes fit beside a partition of a much larger
+//     genotype matrix;
+//   - cartesian: phenotype batches become an RDD and rdd.Cartesian crosses
+//     them with genotype partitions, each output partition pairing one
+//     genotype partition with one batch — for phenotype matrices too large to
+//     ship to every task.
+//
+// Both strategies visit the same pairs with the same arithmetic, so their
+// results are identical; a wide multi-phenotype kernel (stats.WideKernel)
+// amortises the 2-bit genotype decode across the batch, pinned bitwise
+// against the per-phenotype loop.
+package assoc
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sparkscore/internal/data"
+	"sparkscore/internal/rdd"
+	"sparkscore/internal/stats"
+)
+
+// Config tunes an all-pairs analysis.
+type Config struct {
+	// Family selects the score statistic: "gaussian" (default) or
+	// "binomial". Cox has no factorised variance and is not supported.
+	Family string
+
+	// TopK is the number of most-significant pairs to keep (default 100).
+	TopK int
+
+	// Alpha is the Benjamini–Hochberg false-discovery rate (default 0.05).
+	Alpha float64
+
+	// HistBins is the width of the p-value histogram sketch (default 4096).
+	HistBins int
+
+	// Strategy forces a join strategy: "auto" (default — broadcast when the
+	// phenotype matrix is small enough, cartesian otherwise), "broadcast", or
+	// "cartesian".
+	Strategy string
+
+	// PhenoBatch is the number of phenotypes per batch on the cartesian path
+	// (default 64).
+	PhenoBatch int
+
+	// Wide selects the multi-phenotype kernel (default on). False runs the
+	// per-phenotype loop — the ablation baseline the wide kernel is pinned
+	// bitwise against.
+	Wide *bool
+}
+
+func (c Config) family() string {
+	if c.Family == "" {
+		return "gaussian"
+	}
+	return c.Family
+}
+
+func (c Config) topK() int {
+	if c.TopK == 0 {
+		return 100
+	}
+	return c.TopK
+}
+
+func (c Config) alpha() float64 {
+	if c.Alpha == 0 {
+		return 0.05
+	}
+	return c.Alpha
+}
+
+func (c Config) histBins() int {
+	if c.HistBins == 0 {
+		return 4096
+	}
+	return c.HistBins
+}
+
+func (c Config) phenoBatch() int {
+	if c.PhenoBatch == 0 {
+		return 64
+	}
+	return c.PhenoBatch
+}
+
+func (c Config) wide() bool { return c.Wide == nil || *c.Wide }
+
+// WithWide returns a copy of c with the wide kernel switched on or off.
+func (c Config) WithWide(on bool) Config {
+	c.Wide = &on
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch c.family() {
+	case "gaussian", "binomial":
+	default:
+		return fmt.Errorf("assoc: family %q (the all-pairs engine needs a factorised variance: gaussian or binomial)", c.Family)
+	}
+	switch c.Strategy {
+	case "", "auto", "broadcast", "cartesian":
+	default:
+		return fmt.Errorf("assoc: strategy %q, want auto, broadcast, or cartesian", c.Strategy)
+	}
+	switch {
+	case c.TopK < 0:
+		return fmt.Errorf("assoc: TopK = %d, must be non-negative", c.TopK)
+	case c.Alpha < 0 || c.Alpha > 1:
+		return fmt.Errorf("assoc: Alpha = %g outside [0,1]", c.Alpha)
+	case c.HistBins < 0:
+		return fmt.Errorf("assoc: HistBins = %d, must be non-negative", c.HistBins)
+	case c.PhenoBatch < 0:
+		return fmt.Errorf("assoc: PhenoBatch = %d, must be non-negative", c.PhenoBatch)
+	}
+	return nil
+}
+
+// genoBlockRows is the number of SNP rows packed per block by the ingest,
+// matching the marginal pipeline's block shape.
+const genoBlockRows = 256
+
+// broadcastMaxBytes is the auto-strategy cutover: phenotype matrices at or
+// under this size are broadcast, larger ones go through the cartesian join.
+const broadcastMaxBytes = 32 << 20
+
+// Analysis binds a driver context to a staged genotype file and a phenotype
+// matrix and runs the all-pairs cross.
+type Analysis struct {
+	ctx      *rdd.Context
+	cfg      Config
+	genoPath string
+	phenos   *data.PhenoMatrix
+	phenoBC  *rdd.Broadcast[*data.PhenoMatrix]
+}
+
+// NewAnalysis reads the phenotype matrix onto the driver, validates the
+// configuration and the score family against it, and leaves the genotype
+// matrix on the DFS to be streamed through tasks.
+func NewAnalysis(ctx *rdd.Context, genoPath, phenoPath string, cfg Config) (*Analysis, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	raw, err := ctx.FS().ReadAll(phenoPath)
+	if err != nil {
+		return nil, err
+	}
+	phenos, err := data.ReadPhenoMatrix(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	// Fail fast on an unusable family before any job runs: every row must
+	// build (binomial additionally requires 0/1 outcomes with both classes).
+	for r := 0; r < phenos.Rows(); r++ {
+		if _, err := stats.NewModel(cfg.family(), phenos.Phenotype(r)); err != nil {
+			return nil, fmt.Errorf("assoc: phenotype %d: %w", phenos.IDs[r], err)
+		}
+	}
+	if !ctx.FS().Exists(genoPath) {
+		return nil, fmt.Errorf("assoc: genotype file %q not staged", genoPath)
+	}
+	return &Analysis{
+		ctx:      ctx,
+		cfg:      cfg,
+		genoPath: genoPath,
+		phenos:   phenos,
+		phenoBC:  rdd.NewBroadcast(ctx, phenos, phenos.ApproxBytes()),
+	}, nil
+}
+
+// Phenos returns the number of expression phenotypes.
+func (a *Analysis) Phenos() int { return a.phenos.Rows() }
+
+// Patients returns the cohort size.
+func (a *Analysis) Patients() int { return a.phenos.Patients }
+
+// Strategy returns the join strategy the next Run will use.
+func (a *Analysis) Strategy() string {
+	switch a.cfg.Strategy {
+	case "broadcast", "cartesian":
+		return a.cfg.Strategy
+	}
+	if a.phenos.ApproxBytes() <= broadcastMaxBytes {
+		return "broadcast"
+	}
+	return "cartesian"
+}
+
+// Run executes the all-pairs cross and returns the merged result.
+func (a *Analysis) Run() (*Result, error) {
+	blocks, err := a.genotypeBlocks()
+	if err != nil {
+		return nil, err
+	}
+	strategy := a.Strategy()
+	var parts []partial
+	switch strategy {
+	case "broadcast":
+		parts, err = a.broadcastPartials(blocks)
+	case "cartesian":
+		parts, err = a.cartesianPartials(blocks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := mergePartials(parts, a.cfg.topK(), a.cfg.histBins(), a.cfg.alpha())
+	res.Strategy = strategy
+	res.Phenos = a.phenos.Rows()
+	res.SNPBlocks = blocks.Partitions()
+	return res, nil
+}
+
+// genotypeBlocks packs the genotype text into 2-bit columnar blocks at the
+// source — the all-pairs ingest analyses every SNP, so unlike the SKAT
+// pipeline there is no set-membership filter.
+func (a *Analysis) genotypeBlocks() (*rdd.RDD[data.GenoBlock], error) {
+	lines, err := a.ctx.TextFile(a.genoPath, 0)
+	if err != nil {
+		return nil, err
+	}
+	patients := a.phenos.Patients
+	blocks := rdd.MapBatches(lines, "parsePackAllGenotypes", genoBlockRows, func(_ int, batch []string) data.GenoBlock {
+		blk := data.NewGenoBlock(patients, len(batch))
+		for _, line := range batch {
+			snp, rest, err := parseSNPPrefix(line)
+			if err != nil {
+				panic(err)
+			}
+			if err := blk.AppendTextRow(snp, rest); err != nil {
+				panic(fmt.Errorf("assoc: SNP %d: %v", snp, err))
+			}
+		}
+		return blk
+	})
+	fullBlock := int64(genoBlockRows)*(int64(data.BlockRowBytes(patients))+8) + 96
+	return blocks.SetSizeHint(fullBlock).SetSizeFunc(data.GenoBlock.ApproxBytes), nil
+}
+
+// buildModels constructs the per-phenotype score models for rows [0, Rows())
+// of m. Row validity was checked at NewAnalysis time, so errors here are
+// programming errors.
+func buildModels(family string, m *data.PhenoMatrix) []stats.Model {
+	models := make([]stats.Model, m.Rows())
+	for r := range models {
+		model, err := stats.NewModel(family, m.Phenotype(r))
+		if err != nil {
+			panic(fmt.Errorf("assoc: phenotype %d: %v", m.IDs[r], err))
+		}
+		models[r] = model
+	}
+	return models
+}
+
+// scoreBlock scores every (SNP row of blk) × (model) pair into acc, with
+// phenotype ids taken from ids (parallel to models). The wide path decodes
+// each row once through stats.WideKernel; the loop path decodes the row and
+// then scores each phenotype independently — same values, pinned bitwise.
+func scoreBlock(acc *accumulator, blk data.GenoBlock, ids []int32, models []stats.Model, wide bool, dec []data.Genotype) {
+	if wide {
+		k, err := stats.NewWideKernel(models)
+		if err != nil {
+			panic(err)
+		}
+		k.BlockStats(blk, func(snp int32, pheno int, score, variance float64) {
+			acc.add(pairResult(snp, ids[pheno], score, variance))
+		})
+		return
+	}
+	for r := 0; r < blk.Rows(); r++ {
+		stats.DecodeDosageGenotypes(blk.Row(r), dec)
+		snp := blk.SNPs[r]
+		for p, m := range models {
+			acc.add(pairResult(snp, ids[p], stats.Score(m, dec), m.Variance(dec)))
+		}
+	}
+}
+
+func pairResult(snp, pheno int32, score, variance float64) PairResult {
+	return PairResult{
+		SNP:      snp,
+		Pheno:    pheno,
+		Score:    score,
+		Variance: variance,
+		PValue:   stats.ChiSquaredSurvival(stats.Chi2Stat(score, variance), 1),
+	}
+}
+
+// broadcastPartials runs the broadcast strategy: each genotype partition
+// scores the whole broadcast phenotype matrix and emits one partial.
+func (a *Analysis) broadcastPartials(blocks *rdd.RDD[data.GenoBlock]) ([]partial, error) {
+	bc := a.phenoBC
+	family, wide := a.cfg.family(), a.cfg.wide()
+	k, bins := a.cfg.topK(), a.cfg.histBins()
+	partials := rdd.MapPartitions(blocks, "assocPartials", func(_ int, in []data.GenoBlock) []partial {
+		m := bc.Value()
+		models := buildModels(family, m)
+		acc := newAccumulator(k, bins)
+		dec := make([]data.Genotype, m.Patients)
+		for _, blk := range in {
+			scoreBlock(acc, blk, m.IDs, models, wide, dec)
+		}
+		return []partial{acc.partial()}
+	}).SetSizeHint(int64(k)*40 + int64(bins)*8 + 64)
+	return rdd.Collect(partials)
+}
+
+// cartesianPartials runs the block-join strategy: the phenotype matrix is
+// split into batches, parallelised, and crossed with the genotype partitions
+// through rdd.Cartesian; each output partition pairs one genotype partition
+// with one batch and emits one partial.
+func (a *Analysis) cartesianPartials(blocks *rdd.RDD[data.GenoBlock]) ([]partial, error) {
+	batches := a.phenoBatches()
+	right := rdd.Parallelize(a.ctx, batches, len(batches)).
+		SetSizeFunc(data.PhenoMatrix.ApproxBytes)
+	pairs := rdd.Cartesian(blocks, right)
+	family, wide := a.cfg.family(), a.cfg.wide()
+	k, bins := a.cfg.topK(), a.cfg.histBins()
+	partials := rdd.MapPartitions(pairs, "assocPairPartials", func(_ int, in []rdd.Pair[data.GenoBlock, data.PhenoMatrix]) []partial {
+		acc := newAccumulator(k, bins)
+		// One batch per right partition, so the models build once per
+		// partition; the guard keys on the batch's first phenotype id in case
+		// a partition ever spans batches.
+		var models []stats.Model
+		var dec []data.Genotype
+		lastBatch := int32(-1)
+		for i := range in {
+			batch := &in[i].Right
+			if batch.Rows() == 0 {
+				continue
+			}
+			if models == nil || batch.IDs[0] != lastBatch {
+				models = buildModels(family, batch)
+				lastBatch = batch.IDs[0]
+				dec = make([]data.Genotype, batch.Patients)
+			}
+			scoreBlock(acc, in[i].Left, batch.IDs, models, wide, dec)
+		}
+		return []partial{acc.partial()}
+	}).SetSizeHint(int64(k)*40 + int64(bins)*8 + 64)
+	return rdd.Collect(partials)
+}
+
+// phenoBatches slices the phenotype matrix into batches of at most
+// cfg.PhenoBatch rows. Each batch shares the parent's value storage.
+func (a *Analysis) phenoBatches() []data.PhenoMatrix {
+	size := a.cfg.phenoBatch()
+	m := a.phenos
+	var out []data.PhenoMatrix
+	for lo := 0; lo < m.Rows(); lo += size {
+		hi := lo + size
+		if hi > m.Rows() {
+			hi = m.Rows()
+		}
+		out = append(out, data.PhenoMatrix{
+			Patients: m.Patients,
+			IDs:      m.IDs[lo:hi],
+			Values:   m.Values[lo*m.Patients : hi*m.Patients],
+		})
+	}
+	return out
+}
+
+// parseSNPPrefix splits a genotype-matrix line into its SNP id and the
+// genotype fields after the tab.
+func parseSNPPrefix(line string) (int, string, error) {
+	if strings.TrimSpace(line) == "" {
+		return 0, "", fmt.Errorf("assoc: empty genotype line")
+	}
+	snpStr, rest, ok := strings.Cut(line, "\t")
+	if !ok {
+		return 0, "", fmt.Errorf("assoc: genotype line missing tab")
+	}
+	snp, err := strconv.Atoi(snpStr)
+	if err != nil || snp < 0 {
+		return 0, "", fmt.Errorf("assoc: bad SNP id %q", snpStr)
+	}
+	return snp, rest, nil
+}

@@ -1,0 +1,236 @@
+package assoc
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	"sparkscore/internal/cluster"
+	"sparkscore/internal/data"
+	"sparkscore/internal/gen"
+	"sparkscore/internal/rdd"
+	"sparkscore/internal/rng"
+	"sparkscore/internal/stats"
+)
+
+func newTestContext(t testing.TB, nodes int, faults rdd.FaultProfile) *rdd.Context {
+	t.Helper()
+	c, err := rdd.New(rdd.Config{
+		Cluster: cluster.Config{Nodes: nodes, Spec: cluster.M3TwoXLarge},
+		Seed:    7,
+		Faults:  faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// stageFixture generates and stages a small all-pairs dataset, returning the
+// boxed genotype matrix and phenotype matrix for brute-force checks.
+func stageFixture(t testing.TB, ctx *rdd.Context, patients, snps, phenos int) (Paths, *data.GenotypeMatrix, *data.PhenoMatrix) {
+	cfg := gen.Config{Patients: patients, SNPs: snps, SNPSets: 1}
+	geno := gen.Genotypes(cfg, rng.New(5))
+	expr := gen.ExpressionMatrix(cfg, rng.New(6), phenos)
+	paths, err := Stage(ctx, geno, expr, "eqtl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths, geno, expr
+}
+
+// bruteForce scores every pair in memory with the single-phenotype model
+// path — the reference the engine is pinned against.
+func bruteForce(t testing.TB, geno *data.GenotypeMatrix, expr *data.PhenoMatrix, family string) []PairResult {
+	var out []PairResult
+	for p := 0; p < expr.Rows(); p++ {
+		m, err := stats.NewModel(family, expr.Phenotype(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, row := range geno.Rows {
+			out = append(out, pairResult(int32(j), expr.IDs[p], stats.Score(m, row), m.Variance(row)))
+		}
+	}
+	return out
+}
+
+func TestAllPairsMatchesBruteForce(t *testing.T) {
+	const patients, snps, phenos, k = 40, 600, 9, 25
+	ctx := newTestContext(t, 2, rdd.FaultProfile{})
+	paths, geno, expr := stageFixture(t, ctx, patients, snps, phenos)
+	a, err := NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, Config{TopK: k, HistBins: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tested != int64(snps*phenos) {
+		t.Fatalf("tested %d pairs, want %d", res.Tested, snps*phenos)
+	}
+
+	all := bruteForce(t, geno, expr, "gaussian")
+	sort.Slice(all, func(i, j int) bool { return pairLess(all[i], all[j]) })
+	if len(res.TopK) != k {
+		t.Fatalf("top-K has %d entries, want %d", len(res.TopK), k)
+	}
+	for i := 0; i < k; i++ {
+		g, w := res.TopK[i], all[i]
+		if g.SNP != w.SNP || g.Pheno != w.Pheno ||
+			math.Float64bits(g.Score) != math.Float64bits(w.Score) ||
+			math.Float64bits(g.Variance) != math.Float64bits(w.Variance) ||
+			math.Float64bits(g.PValue) != math.Float64bits(w.PValue) {
+			t.Fatalf("top-K entry %d = %+v, brute force %+v", i, g, w)
+		}
+	}
+
+	// The FDR summary must equal exact BH on bin-snapped p-values.
+	snapped := make([]float64, len(all))
+	for i, p := range all {
+		snapped[i] = snap(p.PValue, 512)
+	}
+	wantThr, wantDisc := exactBH(snapped, 0.05)
+	if math.Float64bits(res.FDR.Threshold) != math.Float64bits(wantThr) || res.FDR.Discoveries != wantDisc {
+		t.Fatalf("FDR = %+v, exact-on-snapped (%v, %d)", res.FDR, wantThr, wantDisc)
+	}
+}
+
+// TestStrategiesAndKernelsAgree pins the four engine configurations —
+// {broadcast, cartesian} × {wide, loop} — to byte-identical reports.
+func TestStrategiesAndKernelsAgree(t *testing.T) {
+	const patients, snps, phenos = 30, 700, 12
+	report := func(strategy string, wide bool) []byte {
+		ctx := newTestContext(t, 2, rdd.FaultProfile{})
+		paths, _, _ := stageFixture(t, ctx, patients, snps, phenos)
+		cfg := Config{TopK: 20, HistBins: 256, Strategy: strategy, PhenoBatch: 5}.WithWide(wide)
+		a, err := NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Strategy != strategy {
+			t.Fatalf("ran strategy %q, want %q", res.Strategy, strategy)
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := report("broadcast", true)
+	for _, tc := range []struct {
+		strategy string
+		wide     bool
+	}{{"broadcast", false}, {"cartesian", true}, {"cartesian", false}} {
+		if got := report(tc.strategy, tc.wide); !bytes.Equal(got, base) {
+			t.Fatalf("%s/wide=%v report differs from broadcast/wide:\n%s\n--- vs ---\n%s",
+				tc.strategy, tc.wide, got, base)
+		}
+	}
+}
+
+// TestAllPairsUnderChaos runs the cross under the chaos fault profile: the
+// report must be byte-identical to the clean run.
+func TestAllPairsUnderChaos(t *testing.T) {
+	report := func(faults rdd.FaultProfile) []byte {
+		ctx := newTestContext(t, 3, faults)
+		paths, _, _ := stageFixture(t, ctx, 25, 900, 6)
+		a, err := NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes,
+			Config{TopK: 15, HistBins: 128, Strategy: "cartesian", PhenoBatch: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	clean := report(rdd.FaultProfile{})
+	chaos := report(rdd.FaultProfile{TaskCrashProb: 0.1, FetchFailureProb: 0.1, StragglerProb: 0.1})
+	if !bytes.Equal(clean, chaos) {
+		t.Fatalf("chaos changed the report:\n%s\n--- vs clean ---\n%s", chaos, clean)
+	}
+}
+
+func TestAutoStrategyPicksBroadcastForSmallMatrix(t *testing.T) {
+	ctx := newTestContext(t, 1, rdd.FaultProfile{})
+	paths, _, _ := stageFixture(t, ctx, 10, 20, 3)
+	a, err := NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Strategy(); got != "broadcast" {
+		t.Fatalf("auto strategy = %q, want broadcast for a tiny matrix", got)
+	}
+}
+
+func TestNewAnalysisRejects(t *testing.T) {
+	ctx := newTestContext(t, 1, rdd.FaultProfile{})
+	paths, _, _ := stageFixture(t, ctx, 10, 20, 3)
+	if _, err := NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, Config{Family: "cox"}); err == nil {
+		t.Fatal("accepted the cox family")
+	}
+	if _, err := NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, Config{Strategy: "bogus"}); err == nil {
+		t.Fatal("accepted a bogus strategy")
+	}
+	// Expression values are continuous, so binomial must fail fast.
+	if _, err := NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, Config{Family: "binomial"}); err == nil {
+		t.Fatal("accepted binomial for continuous phenotypes")
+	}
+	if _, err := NewAnalysis(ctx, "missing.txt", paths.Phenotypes, Config{}); err == nil {
+		t.Fatal("accepted a missing genotype file")
+	}
+}
+
+// TestBinomialFamilyAllPairs runs the PheWAS shape: binary phenotypes under
+// the binomial score, pinned against brute force.
+func TestBinomialFamilyAllPairs(t *testing.T) {
+	const patients, snps, phenos = 30, 300, 4
+	ctx := newTestContext(t, 2, rdd.FaultProfile{})
+	cfg := gen.Config{Patients: patients, SNPs: snps, SNPSets: 1}
+	geno := gen.Genotypes(cfg, rng.New(9))
+	r := rng.New(10)
+	expr := data.NewPhenoMatrix(patients, phenos)
+	row := make([]float64, patients)
+	for p := 0; p < phenos; p++ {
+		for i := range row {
+			row[i] = 0
+			if r.Bernoulli(0.4) {
+				row[i] = 1
+			}
+		}
+		if err := expr.AppendRow(p, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := Stage(ctx, geno, &expr, "phewas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalysis(ctx, paths.Genotypes, paths.Phenotypes, Config{Family: "binomial", TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := bruteForce(t, geno, &expr, "binomial")
+	sort.Slice(all, func(i, j int) bool { return pairLess(all[i], all[j]) })
+	for i := range res.TopK {
+		if res.TopK[i] != all[i] {
+			t.Fatalf("top-K entry %d = %+v, brute force %+v", i, res.TopK[i], all[i])
+		}
+	}
+}

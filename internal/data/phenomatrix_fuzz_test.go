@@ -1,0 +1,70 @@
+// Fuzzing the phenotype-matrix text codec, mirroring the GenoBlock target:
+// AppendTextRow must never panic, must leave the matrix untouched when it
+// rejects a row, and whatever it accepts must survive a
+// WriteTextRow/AppendTextRow round trip bit for bit (shortest-round-trip
+// float formatting makes that exact). Seed corpus under
+// testdata/fuzz/FuzzPhenoMatrixRoundTrip; `make fuzz-smoke` gives the target
+// a 10-second budget.
+
+package data
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func FuzzPhenoMatrixRoundTrip(f *testing.F) {
+	f.Add(3, "0.5 -1.25 3e-17")
+	f.Add(2, "1 2")
+	f.Add(2, " -0\t1e308 ")
+	f.Add(0, "")
+	f.Add(1, "NaN")
+	f.Add(1, "+Inf")
+	f.Add(2, "1 2 3") // surplus field
+	f.Add(2, "1")     // short row
+	f.Fuzz(func(t *testing.T, patients int, fields string) {
+		// Bound the row width so the fuzzer explores values, not allocations.
+		if patients < 0 {
+			patients = -patients
+		}
+		patients %= 512
+
+		m := NewPhenoMatrix(patients, 1)
+		if err := m.AppendTextRow(7, fields); err != nil {
+			if m.Rows() != 0 || len(m.Values) != 0 {
+				t.Fatalf("rejected row left partial state: %d rows, %d values", m.Rows(), len(m.Values))
+			}
+			return
+		}
+		if m.Rows() != 1 || len(m.Values) != patients {
+			t.Fatalf("accepted row: %d rows, %d values, want 1 row of %d", m.Rows(), len(m.Values), patients)
+		}
+		for i, v := range m.Row(0) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("patient %d parsed to non-finite %v from %q", i, v, fields)
+			}
+		}
+		// Round trip: rewrite the row as text and re-parse it.
+		var sb strings.Builder
+		m.WriteTextRow(0, &sb)
+		line := strings.TrimSuffix(sb.String(), "\n")
+		tab := strings.IndexByte(line, '\t')
+		if tab < 0 {
+			t.Fatalf("WriteTextRow produced no id/value separator: %q", line)
+		}
+		m2 := NewPhenoMatrix(patients, 1)
+		if err := m2.AppendTextRow(7, line[tab+1:]); err != nil {
+			t.Fatalf("re-parsing written row %q: %v", line, err)
+		}
+		for i := range m.Values {
+			if math.Float64bits(m.Values[i]) != math.Float64bits(m2.Values[i]) {
+				t.Fatalf("round trip changed value %d: %v -> %v (input %q)",
+					i, m.Values[i], m2.Values[i], fields)
+			}
+		}
+		if m.IDs[0] != m2.IDs[0] {
+			t.Fatalf("round trip changed id: %d -> %d", m.IDs[0], m2.IDs[0])
+		}
+	})
+}

@@ -1,0 +1,38 @@
+// Expression-phenotype generator for the all-pairs eQTL workload: M
+// quantitative traits over the cohort, each a standard-normal draw (the null
+// model of the Gaussian score — the engine's job is the scale of the cross,
+// not effect detection, matching how the paper's synthetic study treats the
+// genotypes).
+
+package gen
+
+import (
+	"sparkscore/internal/data"
+	"sparkscore/internal/rng"
+)
+
+// ExpressionMatrix draws phenos expression phenotypes for cfg.Patients
+// patients. Each phenotype row derives its own RNG stream keyed by its id, so
+// rows can be generated (or re-generated) in parallel and in any order, and
+// adding phenotypes never perturbs existing ones.
+func ExpressionMatrix(cfg Config, r *rng.RNG, phenos int) *data.PhenoMatrix {
+	cfg = cfg.withDefaults()
+	m := data.NewPhenoMatrix(cfg.Patients, phenos)
+	row := make([]float64, cfg.Patients)
+	for p := 0; p < phenos; p++ {
+		FillExpressionRow(row, r, p)
+		if err := m.AppendRow(p, row); err != nil {
+			panic(err) // unreachable: normal draws are finite
+		}
+	}
+	return &m
+}
+
+// FillExpressionRow fills row with phenotype p's expression values from p's
+// split stream: independent N(0,1) draws per patient.
+func FillExpressionRow(row []float64, r *rng.RNG, p int) {
+	rr := r.Split(uint64(p))
+	for i := range row {
+		row[i] = rr.Normal()
+	}
+}

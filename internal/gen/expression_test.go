@@ -1,0 +1,66 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"sparkscore/internal/rng"
+)
+
+func TestExpressionMatrixShapeAndDeterminism(t *testing.T) {
+	cfg := Config{Patients: 50, SNPs: 10, SNPSets: 2}
+	a := ExpressionMatrix(cfg, rng.New(42), 8)
+	b := ExpressionMatrix(cfg, rng.New(42), 8)
+	if a.Rows() != 8 || a.Patients != 50 {
+		t.Fatalf("shape %dx%d, want 8x50", a.Rows(), a.Patients)
+	}
+	for i := range a.Values {
+		if math.Float64bits(a.Values[i]) != math.Float64bits(b.Values[i]) {
+			t.Fatalf("value %d differs across identical seeds", i)
+		}
+	}
+	c := ExpressionMatrix(cfg, rng.New(43), 8)
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+// TestExpressionRowsOrderIndependent pins the split-stream property: a row's
+// values depend only on its phenotype id, not on how many rows were drawn
+// before it.
+func TestExpressionRowsOrderIndependent(t *testing.T) {
+	cfg := Config{Patients: 12, SNPs: 10, SNPSets: 2}
+	wide := ExpressionMatrix(cfg, rng.New(7), 16)
+	row5 := make([]float64, 12)
+	FillExpressionRow(row5, rng.New(7), 5)
+	for i, v := range wide.Row(5) {
+		if math.Float64bits(v) != math.Float64bits(row5[i]) {
+			t.Fatalf("row 5 patient %d: matrix %v, direct fill %v", i, v, row5[i])
+		}
+	}
+}
+
+func TestExpressionValuesRoughlyStandardNormal(t *testing.T) {
+	cfg := Config{Patients: 2000, SNPs: 10, SNPSets: 2}
+	m := ExpressionMatrix(cfg, rng.New(1), 4)
+	for r := 0; r < m.Rows(); r++ {
+		var sum, ss float64
+		for _, v := range m.Row(r) {
+			sum += v
+			ss += v * v
+		}
+		n := float64(m.Patients)
+		mean := sum / n
+		sd := math.Sqrt(ss/n - mean*mean)
+		if math.Abs(mean) > 0.1 || math.Abs(sd-1) > 0.1 {
+			t.Fatalf("row %d: mean %v sd %v, want ~N(0,1)", r, mean, sd)
+		}
+	}
+}

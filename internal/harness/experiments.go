@@ -67,6 +67,7 @@ func Experiments() []Experiment {
 		{ID: "columnar", Title: "Columnar: 2-bit packed genotype engine vs boxed rows", Run: runColumnar},
 		{ID: "memory", Title: "Memory: sort-shuffle spill vs hash OOM under a capped unified pool", Run: runMemory},
 		{ID: "adaptive", Title: "Adaptive: skew splitting and partition coalescing, planner on/off", Run: runAdaptive},
+		{ID: "eqtl", Title: "EQTL: all-pairs wide kernel vs per-phenotype loop, parity and throughput", Run: runEQTL},
 	}
 }
 

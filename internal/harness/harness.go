@@ -71,6 +71,11 @@ type Harness struct {
 	// -json flag).
 	AdaptiveJSON string
 
+	// EQTLJSON, when set, makes the all-pairs eQTL experiment write its
+	// parity/chaos/throughput measurements as a JSON snapshot to this path
+	// (benchtab's -json flag).
+	EQTLJSON string
+
 	// extraListeners are attached to every run in addition to the
 	// EventLogDir/TraceDir observers; experiments use it to probe per-task
 	// metrics (the memory experiment's buffer high-water mark).

@@ -1,0 +1,51 @@
+// Cartesian: the cross-join operator of the all-pairs association engine.
+// Output partition p = i*right.parts + j pairs every element of left
+// partition i with every element of right partition j — the co-partitioned
+// cross join: no shuffle, each task reads exactly one partition per side, and
+// a lost output partition recomputes from exactly two lineage partitions, so
+// the operator composes with caching, speculation, adaptive planning, and
+// fault recovery like any narrow op. The right side is drained once per task
+// and the left streamed over it, so the smaller dataset belongs on the right
+// (the driver-side strategy pick in internal/assoc puts it there).
+
+package rdd
+
+import "fmt"
+
+// Pair is one element of a cartesian product.
+type Pair[A, B any] struct {
+	Left  A
+	Right B
+}
+
+// Cartesian returns the cross product of two RDDs with
+// left.parts × right.parts partitions: partition i*right.parts + j yields
+// Pair{l, r} for every l in left partition i and r in right partition j, in
+// row-major element order (all rights of the first left, then the next left).
+func Cartesian[A, B any](left *RDD[A], right *RDD[B]) *RDD[Pair[A, B]] {
+	if left.n.ctx != right.n.ctx {
+		panic("rdd: cartesian of RDDs from different contexts")
+	}
+	l, r := left.n, right.n
+	n := newTypedNode[Pair[A, B]](l.ctx, fmt.Sprintf("cartesian(%s,%s)", l.name, r.name), l.parts*r.parts)
+	n.narrowParents = []*node{l, r}
+	n.bytesPerElem = l.bytesPerElem + r.bytesPerElem
+	n.fusedDepth = max(l.fusedDepth, r.fusedDepth) + 1
+	rightParts := r.parts
+	n.compute = func(tc *taskContext, p int) any {
+		i, j := p/rightParts, p%rightParts
+		// Drain the right partition once; the left streams over it.
+		rows := drainSeq(seqOf[B](r.iterate(tc, j)))
+		in := seqOf[A](l.iterate(tc, i))
+		return boxSeq[Pair[A, B]](func(yield func(Pair[A, B]) bool) {
+			for lv := range in {
+				for _, rv := range rows {
+					if !yield(Pair[A, B]{Left: lv, Right: rv}) {
+						return
+					}
+				}
+			}
+		})
+	}
+	return &RDD[Pair[A, B]]{n: n}
+}

@@ -1,6 +1,6 @@
 // Package server is the SparkScore job server: a long-running driver service
-// that accepts score, SKAT, and resampling requests over HTTP/JSON and runs
-// them as concurrent jobs against one shared rdd.Context — the repo's
+// that accepts score, SKAT, resampling, and all-pairs eQTL requests over
+// HTTP/JSON and runs them as concurrent jobs against one shared rdd.Context — the repo's
 // counterpart of keeping a Spark driver alive behind a REST gateway (Livy,
 // spark-jobserver) instead of spawning spark-submit per analysis.
 //
@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"sparkscore/internal/assoc"
 	"sparkscore/internal/core"
 	"sparkscore/internal/rdd"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	Context *rdd.Context
 	// Analysis is the staged analysis every request runs against.
 	Analysis *core.Analysis
+	// EQTL, when set, enables the /v1/eqtl endpoint: the all-pairs association
+	// analysis its paginated requests run against. Left nil, the endpoint
+	// answers 501.
+	EQTL *assoc.Analysis
 	// Pools declares the serving pools. Requests naming an undeclared pool
 	// fall into an implicit pool with default limits, as the engine does for
 	// scheduling.
@@ -68,6 +73,13 @@ type Server struct {
 	cache    *resultCache
 	mux      *http.ServeMux
 	tuner    Retuner
+
+	// eqtl is the optional all-pairs analysis behind /v1/eqtl; the memo holds
+	// its last full result so pages are sliced, not recomputed (see eqtl.go).
+	eqtl      *assoc.Analysis
+	eqtlMu    sync.Mutex
+	eqtlRes   *assoc.Result
+	eqtlEpoch uint64
 
 	tuneMu  sync.Mutex
 	retunes uint64
@@ -103,6 +115,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		ctx:      cfg.Context,
 		analysis: cfg.Analysis,
+		eqtl:     cfg.EQTL,
 		cache:    newResultCache(cfg.CacheEntries),
 		pools:    map[string]*servingPool{},
 		tuner:    cfg.Tuner,
@@ -125,6 +138,14 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.mux.HandleFunc("/v1/resample", func(w http.ResponseWriter, r *http.Request) {
 		s.serveJob(w, r, "resample", &resampleRequest{})
+	})
+	s.mux.HandleFunc("/v1/eqtl", func(w http.ResponseWriter, r *http.Request) {
+		if s.eqtl == nil {
+			writeError(w, &httpError{status: http.StatusNotImplemented,
+				msg: "no all-pairs analysis configured (start the server with a phenotype matrix)"})
+			return
+		}
+		s.serveJob(w, r, "eqtl", &eqtlRequest{srv: s})
 	})
 	return s, nil
 }

@@ -12,10 +12,13 @@ import (
 	"testing"
 	"time"
 
+	"sparkscore/internal/assoc"
 	"sparkscore/internal/cluster"
 	"sparkscore/internal/core"
+	"sparkscore/internal/data"
 	"sparkscore/internal/gen"
 	"sparkscore/internal/rdd"
+	"sparkscore/internal/rng"
 )
 
 const testSeed = 11
@@ -206,6 +209,128 @@ func TestServedReplicateMatchesBatch(t *testing.T) {
 		if payload.Statistics[k] != want[k] {
 			t.Errorf("set %d: served %v != batch %v", k, payload.Statistics[k], want[k])
 		}
+	}
+}
+
+func TestEQTLUnconfiguredGives501(t *testing.T) {
+	_, hs := newTestServer(t, nil, rdd.SchedFIFO)
+	_, resp := post(t, hs, "/v1/eqtl", map[string]any{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501 when no all-pairs analysis is configured", resp.StatusCode)
+	}
+}
+
+// newEQTLServer stages the shared dataset plus an expression matrix and wires
+// the all-pairs analysis into the server; the returned batch analysis is an
+// independent driver over the same inputs.
+func newEQTLServer(t *testing.T) (*Server, *httptest.Server, *assoc.Analysis) {
+	t.Helper()
+	build := func(sched rdd.SchedulerConfig) (*rdd.Context, *core.Analysis, *assoc.Analysis) {
+		ctx, a := newAnalysis(t, sched)
+		expr := gen.ExpressionMatrix(gen.Config{Patients: a.Patients()}, rng.New(testSeed), 5)
+		var buf bytes.Buffer
+		if err := data.WritePhenoMatrix(&buf, expr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctx.FS().Write("input/phenomatrix.txt", buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		eq, err := assoc.NewAnalysis(ctx, "input/genotypes.txt", "input/phenomatrix.txt",
+			assoc.Config{TopK: 12, HistBins: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctx, a, eq
+	}
+	ctx, a, eq := build(SchedulerConfig(rdd.SchedFAIR, nil))
+	s, err := New(Config{Context: ctx, Analysis: a, EQTL: eq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	_, _, batch := build(rdd.SchedulerConfig{})
+	return s, hs, batch
+}
+
+func TestServedEQTLPaginatesAndMatchesBatch(t *testing.T) {
+	_, hs, batch := newEQTLServer(t)
+	want, err := batch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []EQTLPair
+	for page, pages := 0, 1; page < pages; page++ {
+		env, _ := post(t, hs, "/v1/eqtl", map[string]any{"page": page, "page_size": 5})
+		if env == nil {
+			t.Fatalf("page %d not served", page)
+		}
+		var payload struct {
+			Tested int64      `json:"tested"`
+			FDR    EQTLFDR    `json:"fdr"`
+			Pages  int        `json:"pages"`
+			Pairs  []EQTLPair `json:"pairs"`
+		}
+		if err := json.Unmarshal(env.Result, &payload); err != nil {
+			t.Fatal(err)
+		}
+		if payload.Tested != want.Tested {
+			t.Fatalf("page %d: tested %d, batch %d", page, payload.Tested, want.Tested)
+		}
+		if payload.FDR.Threshold != want.FDR.Threshold || payload.FDR.Discoveries != want.FDR.Discoveries {
+			t.Fatalf("page %d: FDR %+v, batch %+v", page, payload.FDR, want.FDR)
+		}
+		got = append(got, payload.Pairs...)
+		pages = payload.Pages
+		if pages != 3 { // 12 pairs at page_size 5
+			t.Fatalf("pages = %d, want 3", pages)
+		}
+	}
+	if len(got) != len(want.TopK) {
+		t.Fatalf("pages reassemble to %d pairs, batch top-K %d", len(got), len(want.TopK))
+	}
+	for i, p := range got {
+		w := want.TopK[i]
+		if p.SNP != w.SNP || p.Pheno != w.Pheno ||
+			p.Score != w.Score || p.Variance != w.Variance || p.PValue != w.PValue {
+			t.Fatalf("pair %d: served %+v != batch %+v", i, p, w)
+		}
+	}
+}
+
+// TestEQTLPagesShareOneCross pins the memo: after the first page runs the
+// cross, further pages add no engine jobs, and a repeated page is a cache hit.
+func TestEQTLPagesShareOneCross(t *testing.T) {
+	s, hs, _ := newEQTLServer(t)
+	first, _ := post(t, hs, "/v1/eqtl", map[string]any{"page": 0, "page_size": 5})
+	if first.Jobs == 0 {
+		t.Fatal("first page reported zero jobs; the cross did not run")
+	}
+	second, _ := post(t, hs, "/v1/eqtl", map[string]any{"page": 1, "page_size": 5})
+	if second.Jobs != 0 {
+		t.Fatalf("second page ran %d jobs; pages must slice the memoised result", second.Jobs)
+	}
+	again, _ := post(t, hs, "/v1/eqtl", map[string]any{"page": 0, "page_size": 5})
+	if !again.Cached {
+		t.Fatal("repeated page not served from the result cache")
+	}
+	if !bytes.Equal(first.Result, again.Result) {
+		t.Fatal("cached page differs from computed page")
+	}
+	if _, resp := post(t, hs, "/v1/eqtl", map[string]any{"page": -1}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("page=-1 got status %d, want 400", resp.StatusCode)
+	}
+	// A storage-epoch bump invalidates the memo: the next page recomputes.
+	if err := s.ctx.FailExecutor(0); err != nil {
+		t.Fatal(err)
+	}
+	recomputed, _ := post(t, hs, "/v1/eqtl", map[string]any{"page": 0, "page_size": 5})
+	if recomputed.Cached || recomputed.Jobs == 0 {
+		t.Fatalf("post-epoch page served cached=%v jobs=%d, want a fresh cross", recomputed.Cached, recomputed.Jobs)
+	}
+	if !bytes.Equal(first.Result, recomputed.Result) {
+		t.Fatal("recomputed page differs after executor loss (lineage recovery broken?)")
 	}
 }
 

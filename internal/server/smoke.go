@@ -25,19 +25,32 @@ import (
 	"net/http"
 	"time"
 
+	"sparkscore/internal/assoc"
 	"sparkscore/internal/cluster"
 	"sparkscore/internal/core"
+	"sparkscore/internal/data"
 	"sparkscore/internal/gen"
 	"sparkscore/internal/rdd"
+	"sparkscore/internal/rng"
 )
 
-const smokeSeed = 7
+const (
+	smokeSeed       = 7
+	smokePhenos     = 6
+	smokeEQTLTopK   = 10
+	smokeEQTLPage   = 4 // < topK, so the smoke exercises real pagination
+	smokeConfig     = "smoke"
+	smokePhenoMatrx = "smoke/phenomatrix.txt"
+)
 
-// smokeAnalysis builds the smoke dataset and stages it on a fresh driver.
-func smokeAnalysis(sched rdd.SchedulerConfig) (*rdd.Context, *core.Analysis, error) {
-	ds, err := gen.Generate(gen.Config{Patients: 80, SNPs: 400, SNPSets: 8}, smokeSeed)
+// smokeAnalysis builds the smoke dataset and stages it on a fresh driver,
+// returning both the marginal/SKAT analysis and the all-pairs eQTL analysis
+// over the same genotypes plus a generated expression matrix.
+func smokeAnalysis(sched rdd.SchedulerConfig) (*rdd.Context, *core.Analysis, *assoc.Analysis, error) {
+	cfg := gen.Config{Patients: 80, SNPs: 400, SNPSets: 8}
+	ds, err := gen.Generate(cfg, smokeSeed)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ctx, err := rdd.New(rdd.Config{
 		Cluster: cluster.Config{
@@ -48,14 +61,27 @@ func smokeAnalysis(sched rdd.SchedulerConfig) (*rdd.Context, *core.Analysis, err
 		Scheduler: sched,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	paths, err := core.StageDataset(ctx, ds, "smoke")
+	paths, err := core.StageDataset(ctx, ds, smokeConfig)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	a, err := core.NewAnalysis(ctx, paths, core.Options{Seed: smokeSeed})
-	return ctx, a, err
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	expr := gen.ExpressionMatrix(cfg, rng.New(smokeSeed), smokePhenos)
+	var buf bytes.Buffer
+	if err := data.WritePhenoMatrix(&buf, expr); err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := ctx.FS().Write(smokePhenoMatrx, append([]byte(nil), buf.Bytes()...)); err != nil {
+		return nil, nil, nil, err
+	}
+	eq, err := assoc.NewAnalysis(ctx, paths.Genotypes, smokePhenoMatrx,
+		assoc.Config{TopK: smokeEQTLTopK, HistBins: 256})
+	return ctx, a, eq, err
 }
 
 // Smoke runs the serving self-test, logging progress to out; any error means
@@ -66,11 +92,11 @@ func Smoke(out io.Writer) error {
 		{Name: "batch", Weight: 1},
 		{Name: "tiny", MaxConcurrent: 1, MaxQueue: -1},
 	}
-	ctx, analysis, err := smokeAnalysis(SchedulerConfig(rdd.SchedFAIR, pools))
+	ctx, analysis, eqtl, err := smokeAnalysis(SchedulerConfig(rdd.SchedFAIR, pools))
 	if err != nil {
 		return err
 	}
-	srv, err := New(Config{Context: ctx, Analysis: analysis, Pools: pools})
+	srv, err := New(Config{Context: ctx, Analysis: analysis, EQTL: eqtl, Pools: pools})
 	if err != nil {
 		return err
 	}
@@ -86,7 +112,7 @@ func Smoke(out io.Writer) error {
 
 	// The batch reference: the same dataset and seed on an independent
 	// driver, queried directly — the CLI path without the CLI.
-	_, batch, err := smokeAnalysis(rdd.SchedulerConfig{})
+	_, batch, batchEQTL, err := smokeAnalysis(rdd.SchedulerConfig{})
 	if err != nil {
 		return err
 	}
@@ -102,6 +128,8 @@ func Smoke(out io.Writer) error {
 			func() error { return smokeSKAT(base, batch) }},
 		{"resample", "Monte Carlo resampling over HTTP matches batch",
 			func() error { return smokeResample(base, batch) }},
+		{"eqtl", "paginated all-pairs eQTL over HTTP matches batch",
+			func() error { return smokeEQTL(base, batchEQTL) }},
 		{"concurrent", "concurrent FAIR requests from two pools all served",
 			func() error { return smokeConcurrent(base) }},
 		{"cache", "repeated request served from the result cache",
@@ -251,6 +279,56 @@ func smokeResample(base string, batch *core.Analysis) error {
 		if r.Observed != want.Observed[k] || r.Exceed != want.Exceed[k] || r.PValue != want.PValues[k] {
 			return fmt.Errorf("set %s: served (%v,%d,%v) != batch (%v,%d,%v)", r.Name,
 				r.Observed, r.Exceed, r.PValue, want.Observed[k], want.Exceed[k], want.PValues[k])
+		}
+	}
+	return nil
+}
+
+// smokeEQTL walks every page of the all-pairs top-K over HTTP and asserts the
+// reassembled list — and the FDR summary on each page — matches an
+// independent batch run of the same cross bit for bit.
+func smokeEQTL(base string, batch *assoc.Analysis) error {
+	want, err := batch.Run()
+	if err != nil {
+		return err
+	}
+	var got []EQTLPair
+	for page, pages := 0, 1; page < pages; page++ {
+		env, err := mustOK(postJSON(base, "/v1/eqtl",
+			map[string]any{"pool": "interactive", "page": page, "page_size": smokeEQTLPage}))
+		if err != nil {
+			return err
+		}
+		var payload struct {
+			Tested int64      `json:"tested"`
+			TopK   int        `json:"topK"`
+			FDR    EQTLFDR    `json:"fdr"`
+			Pages  int        `json:"pages"`
+			Pairs  []EQTLPair `json:"pairs"`
+		}
+		if err := json.Unmarshal(env.Result, &payload); err != nil {
+			return err
+		}
+		if payload.Tested != want.Tested || payload.TopK != len(want.TopK) {
+			return fmt.Errorf("page %d: served %d tests / top-%d, batch %d / top-%d",
+				page, payload.Tested, payload.TopK, want.Tested, len(want.TopK))
+		}
+		wantFDR := EQTLFDR{Alpha: want.FDR.Alpha, Bins: want.FDR.Bins,
+			Threshold: want.FDR.Threshold, Discoveries: want.FDR.Discoveries}
+		if payload.FDR != wantFDR {
+			return fmt.Errorf("page %d: served FDR %+v, batch %+v", page, payload.FDR, wantFDR)
+		}
+		got = append(got, payload.Pairs...)
+		pages = payload.Pages
+	}
+	if len(got) != len(want.TopK) {
+		return fmt.Errorf("pages reassemble to %d pairs, batch top-K has %d", len(got), len(want.TopK))
+	}
+	for i, p := range got {
+		w := want.TopK[i]
+		if p.SNP != w.SNP || p.Pheno != w.Pheno ||
+			p.Score != w.Score || p.Variance != w.Variance || p.PValue != w.PValue {
+			return fmt.Errorf("pair %d: served %+v != batch %+v", i, p, w)
 		}
 	}
 	return nil

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"sparkscore/internal/data"
+	"sparkscore/internal/rng"
+)
+
+// wideFixture builds a genotype block (with some missing calls) and a batch of
+// phenotypes of the given family over the same cohort.
+func wideFixture(t testing.TB, patients, rows, phenos int, binary bool) ([]Model, data.GenoBlock) {
+	if t != nil {
+		t.Helper()
+	}
+	r := rng.New(1234)
+	blk := data.NewGenoBlock(patients, rows)
+	g := make([]data.Genotype, patients)
+	for j := 0; j < rows; j++ {
+		for i := range g {
+			if r.Bernoulli(0.05) {
+				g[i] = data.MissingGenotype
+			} else {
+				g[i] = data.Genotype(r.Binomial(2, 0.3))
+			}
+		}
+		if err := blk.AppendRow(j, g); err != nil {
+			panic(err)
+		}
+	}
+	models := make([]Model, phenos)
+	for p := range models {
+		ph := data.NewPhenotype(patients)
+		for i := range ph.Y {
+			if binary {
+				if r.Bernoulli(0.3 + 0.4*float64(p%2)) {
+					ph.Y[i] = 1
+				}
+			} else {
+				ph.Y[i] = r.Normal() * float64(p+1)
+			}
+		}
+		family := "gaussian"
+		if binary {
+			family = "binomial"
+		}
+		m, err := NewModel(family, ph)
+		if err != nil {
+			panic(err)
+		}
+		models[p] = m
+	}
+	return models, blk
+}
+
+// TestWideKernelMatchesPerPhenotypeBitwise is the parity pin of the all-pairs
+// engine: for every (SNP, phenotype) pair the wide kernel's score and variance
+// must equal the single-phenotype Score/Variance path bit for bit, for both
+// factorised families, including rows with missing genotypes.
+func TestWideKernelMatchesPerPhenotypeBitwise(t *testing.T) {
+	const patients, rows, phenos = 41, 7, 5
+	for _, binary := range []bool{false, true} {
+		models, blk := wideFixture(t, patients, rows, phenos, binary)
+		k, err := NewWideKernel(models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type cell struct{ score, variance float64 }
+		got := make(map[[2]int]cell, rows*phenos)
+		k.BlockStats(blk, func(snp int32, pheno int, score, variance float64) {
+			got[[2]int{int(snp), pheno}] = cell{score, variance}
+		})
+		if len(got) != rows*phenos {
+			t.Fatalf("binary=%v: visited %d pairs, want %d", binary, len(got), rows*phenos)
+		}
+		dec := make([]data.Genotype, patients)
+		for r := 0; r < rows; r++ {
+			// The per-phenotype baseline decodes with the scoring rule
+			// (missing -> dosage 0), as the marginal pipeline does.
+			DecodeDosageGenotypes(blk.Row(r), dec)
+			for p, m := range models {
+				wantScore := Score(m, dec)
+				wantVar := m.Variance(dec)
+				c := got[[2]int{int(blk.SNPs[r]), p}]
+				if math.Float64bits(c.score) != math.Float64bits(wantScore) {
+					t.Fatalf("binary=%v snp %d pheno %d: wide score %v, loop %v",
+						binary, blk.SNPs[r], p, c.score, wantScore)
+				}
+				if math.Float64bits(c.variance) != math.Float64bits(wantVar) {
+					t.Fatalf("binary=%v snp %d pheno %d: wide variance %v, loop %v",
+						binary, blk.SNPs[r], p, c.variance, wantVar)
+				}
+			}
+		}
+	}
+}
+
+func TestWideKernelRejectsBadBatches(t *testing.T) {
+	if _, err := NewWideKernel(nil); err == nil {
+		t.Fatal("accepted an empty batch")
+	}
+	phA, phB := data.NewPhenotype(4), data.NewPhenotype(6)
+	phA.Y = []float64{1, 2, 3, 4}
+	phB.Y = []float64{1, 2, 3, 4, 5, 6}
+	mA, err := NewGaussian(phA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, err := NewGaussian(phB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWideKernel([]Model{mA, mB}); err == nil {
+		t.Fatal("accepted mismatched patient counts")
+	}
+	for i := range phA.Event {
+		phA.Event[i] = 1
+	}
+	cox, err := NewCox(phA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWideKernel([]Model{cox}); err == nil {
+		t.Fatal("accepted a Cox model, which has no factorised variance")
+	}
+}
+
+// BenchmarkWideKernel vs BenchmarkPerPhenotypeLoop: the decode-amortisation
+// claim of the eqtl experiment at benchmark scale. Run with -benchmem.
+func BenchmarkWideKernel(b *testing.B) {
+	models, blk := wideFixture(nil, 1000, 64, 32, false)
+	k, err := NewWideKernel(models)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.BlockStats(blk, func(snp int32, pheno int, score, variance float64) {
+			sink += score + variance
+		})
+	}
+	_ = sink
+}
+
+func BenchmarkPerPhenotypeLoop(b *testing.B) {
+	models, blk := wideFixture(nil, 1000, 64, 32, false)
+	dec := make([]data.Genotype, 1000)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < blk.Rows(); r++ {
+			DecodeDosageGenotypes(blk.Row(r), dec)
+			for _, m := range models {
+				sink += Score(m, dec) + m.Variance(dec)
+			}
+		}
+	}
+	_ = sink
+}
